@@ -1,0 +1,112 @@
+//! Shared scaffolding for the baseline trees: pool layout, leaf-block
+//! allocation, undo journal, and the common volatile index.
+//!
+//! Every baseline formats its pool the same way RNTree does — root table,
+//! then an undo-journal region, then the leaf block region — and keeps the
+//! leftmost-leaf offset in root slot 0. Each tree stores its own magic in
+//! slot 1 so a mismatched open fails loudly.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use index_common::{leaf_ref, InnerIndex, Key};
+use nvm::{BlockAllocator, PmemPool, RootTable, UndoJournal};
+
+/// Root-table slots shared by all baseline layouts.
+pub(crate) mod roots {
+    /// Leftmost leaf offset.
+    pub const LEFTMOST: usize = 0;
+    /// Per-tree layout magic.
+    pub const MAGIC: usize = 1;
+}
+
+/// Common per-tree state: pool, allocator, journal, volatile index.
+pub(crate) struct Substrate {
+    pub pool: Arc<PmemPool>,
+    pub alloc: BlockAllocator,
+    pub journal: UndoJournal,
+    pub index: InnerIndex,
+    pub leftmost: u64,
+    pub seq: bool,
+    pub splits: AtomicU64,
+    pub compactions: AtomicU64,
+}
+
+/// Journal slots for baseline trees (single-threaded trees use 1–2; FPTree
+/// up to one per thread).
+pub(crate) const JOURNAL_SLOTS: usize = 64;
+
+impl Substrate {
+    /// Formats `pool` for a tree with `block`-byte leaves: writes magic,
+    /// formats the journal, allocates (but does not initialise) the first
+    /// leaf and records it as leftmost. The caller initialises the leaf
+    /// and persists it before use.
+    pub(crate) fn create(pool: Arc<PmemPool>, block: u64, magic: u64, seq: bool) -> Substrate {
+        let region = RootTable::END;
+        let journal = UndoJournal::new(region, JOURNAL_SLOTS, block);
+        journal.format(&pool);
+        let leaf_region = region + UndoJournal::region_bytes(JOURNAL_SLOTS, block);
+        let alloc = BlockAllocator::new(leaf_region, pool.len(), block);
+        let leftmost = alloc.alloc().expect("pool too small for one leaf");
+        RootTable::set_volatile(&pool, roots::LEFTMOST, leftmost);
+        RootTable::set_volatile(&pool, roots::MAGIC, magic);
+        RootTable::persist(&pool);
+        let index = InnerIndex::new(leaf_ref(leftmost));
+        Substrate {
+            pool,
+            alloc,
+            journal,
+            index,
+            leftmost,
+            seq,
+            splits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// Dispatches traversal per the configured mode.
+    #[inline]
+    pub(crate) fn traverse(&self, key: Key) -> u64 {
+        if self.seq {
+            self.index.traverse_seq(key)
+        } else {
+            self.index.traverse_tm(key)
+        }
+    }
+}
+
+/// One-byte key fingerprint (FPTree §3.1 of the original paper).
+#[inline]
+pub(crate) fn fingerprint(key: u64) -> u8 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_spreads() {
+        let mut counts = [0u32; 256];
+        for k in 0..25_600u64 {
+            counts[fingerprint(k) as usize] += 1;
+        }
+        // Every byte bucket should be hit with roughly 100 keys.
+        for (b, &c) in counts.iter().enumerate() {
+            assert!((40..250).contains(&c), "bucket {b}: {c}");
+        }
+    }
+
+    #[test]
+    fn substrate_layout_is_consistent() {
+        let pool = Arc::new(PmemPool::new(nvm::PmemConfig::for_testing(1 << 22)));
+        let s = Substrate::create(Arc::clone(&pool), 1216, 0xABCD, false);
+        assert_eq!(RootTable::get(&pool, roots::LEFTMOST), s.leftmost);
+        assert_eq!(RootTable::get(&pool, roots::MAGIC), 0xABCD);
+        assert!(s.leftmost >= RootTable::END + UndoJournal::region_bytes(JOURNAL_SLOTS, 1216));
+        assert_eq!(s.traverse(42), s.leftmost);
+    }
+}

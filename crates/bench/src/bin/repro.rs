@@ -1,0 +1,111 @@
+//! `repro` — regenerate every table and figure of the RNTree paper.
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro -- all
+//! cargo run -p bench --release --bin repro -- fig8 --warm 500000 --threads 1,2,4,8
+//! ```
+//!
+//! Subcommands: `table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablation all`.
+//! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
+//! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`.
+
+use std::time::Duration;
+
+use bench::experiments;
+use bench::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|all> \
+         [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
+         [--latency-ns N] [--workers N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut scale = Scale::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                scale = Scale::quick();
+                i += 1;
+            }
+            "--warm" => {
+                scale.warm_n = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--duration-ms" => {
+                let ms: u64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                scale.duration = Duration::from_millis(ms);
+                i += 2;
+            }
+            "--threads" => {
+                let list = args.get(i + 1).unwrap_or_else(|| usage());
+                scale.threads = list
+                    .split(',')
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                i += 2;
+            }
+            "--latency-ns" => {
+                scale.write_latency_ns =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--workers" => {
+                scale.latency_workers =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                scale.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    println!("# RNTree reproduction — {cmd}");
+    println!(
+        "scale: warm_n={} duration={:?} threads={:?} workers={} latency={}ns seed={}",
+        scale.warm_n,
+        scale.duration,
+        scale.threads,
+        scale.latency_workers,
+        scale.write_latency_ns,
+        scale.seed
+    );
+
+    match cmd.as_str() {
+        "table1" => experiments::table1(&scale),
+        "fig4" => experiments::fig4(&scale),
+        "fig5" => experiments::fig5(&scale),
+        "fig6" => experiments::fig6(&scale),
+        "fig7" => experiments::fig7(&scale),
+        "fig8" => experiments::fig8(&scale),
+        "fig9" => experiments::fig9(&scale),
+        "fig10" => experiments::fig10(&scale),
+        "ablation" => experiments::ablation_latency(&scale),
+        "breakdown" => experiments::breakdown(&scale),
+        "all" => {
+            experiments::table1(&scale);
+            experiments::fig4(&scale);
+            experiments::fig5(&scale);
+            experiments::fig6(&scale);
+            experiments::fig7(&scale);
+            experiments::fig8(&scale);
+            experiments::fig9(&scale);
+            experiments::fig10(&scale);
+            experiments::ablation_latency(&scale);
+            experiments::breakdown(&scale);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,389 @@
+//! [`HtmDomain`]: the retry loop + fallback path (the lock-elision pattern).
+//!
+//! `domain.atomic(|txn| …)` is the equivalent of the canonical RTM idiom:
+//!
+//! ```text
+//! retry:
+//!   if (_xbegin() == _XBEGIN_STARTED) {
+//!       if (fallback_lock_held) _xabort();   // subscription
+//!       ... body ...
+//!       _xend();
+//!   } else {
+//!       if (should_retry) goto retry;
+//!       pthread_mutex_lock(&fallback); ... body ...; unlock;
+//!   }
+//! ```
+//!
+//! Retry policy, mirroring production RTM code:
+//! * **Conflict** aborts retry with exponential backoff up to
+//!   [`RetryPolicy::max_retries`], then take the fallback lock.
+//! * **Capacity** and **flush-in-txn** aborts go to the fallback
+//!   immediately — retrying cannot help a transaction that is too big or
+//!   that must flush.
+//! * **Explicit** aborts always retry optimistically (after backoff) and
+//!   never escalate: the program aborted on purpose (e.g. FPTree's `find`
+//!   seeing a locked leaf) and wants a fresh optimistic run. The body is
+//!   re-executed from the top, so it re-reads whatever state it aborted on.
+
+use std::cell::Cell;
+
+use crate::fallback::FallbackLock;
+use crate::stats::HtmStats;
+use crate::txn::{Abort, AbortCode, Txn, TxnOptions};
+use crate::TxResult;
+
+/// How many times to retry conflict aborts before taking the fallback lock.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Optimistic attempts before falling back (conflicts only).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 16 }
+    }
+}
+
+std::thread_local! {
+    static IN_ATOMIC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// An HTM execution domain: fallback lock + stats + capacity model.
+///
+/// Each concurrent data structure owns one domain, mirroring a per-structure
+/// fallback mutex (a process-global one would serialise unrelated trees).
+#[derive(Debug, Default)]
+pub struct HtmDomain {
+    fallback: FallbackLock,
+    stats: HtmStats,
+    opts: TxnOptions,
+    policy: RetryPolicy,
+}
+
+impl HtmDomain {
+    /// Domain with default capacity (512-line L1 budget) and retry policy.
+    pub fn new() -> Self {
+        HtmDomain::default()
+    }
+
+    /// Domain with explicit capacity model and retry policy (used by the
+    /// capacity-sensitivity ablation).
+    pub fn with_options(opts: TxnOptions, policy: RetryPolicy) -> Self {
+        HtmDomain {
+            fallback: FallbackLock::new(),
+            stats: HtmStats::default(),
+            opts,
+            policy,
+        }
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &HtmStats {
+        &self.stats
+    }
+
+    /// The domain's fallback lock (exposed for tests/diagnostics).
+    pub fn fallback_lock(&self) -> &FallbackLock {
+        &self.fallback
+    }
+
+    /// Runs `body` atomically, retrying and falling back as real RTM code
+    /// does. The closure may run **multiple times**; side effects other than
+    /// transactional writes must be idempotent or confined to the final
+    /// successful run (all algorithms in this repository satisfy this).
+    ///
+    /// # Panics
+    /// Panics on nested `atomic` calls from the same thread (real RTM would
+    /// flat-nest; our algorithms never nest, so we forbid it loudly).
+    pub fn atomic<'t, R>(&'t self, mut body: impl FnMut(&mut Txn<'t>) -> TxResult<R>) -> R {
+        IN_ATOMIC.with(|f| {
+            assert!(!f.get(), "nested HtmDomain::atomic on one thread");
+            f.set(true);
+        });
+        let _reset = ResetOnDrop;
+        let mut conflicts = 0u32;
+        loop {
+            // Lock elision prologue: wait out any fallback holder.
+            self.fallback.wait_until_free();
+
+            use std::sync::atomic::Ordering::Relaxed;
+            self.stats.attempts.fetch_add(1, Relaxed);
+            crate::set_in_transaction(true);
+            let mut txn = Txn::optimistic(self.opts);
+            // Subscribe to the fallback lock: its word enters the read set,
+            // so a fallback acquisition during this txn fails validation.
+            let attempt = txn.read(&self.fallback.word).and_then(|v| {
+                if v % 2 == 1 {
+                    // Acquired between wait_until_free and the read.
+                    Err(Abort::CONFLICT)
+                } else {
+                    Ok(())
+                }
+            });
+            let result = attempt.and_then(|()| body(&mut txn));
+            crate::set_in_transaction(false);
+            let abort = match result {
+                Ok(r) => match txn.commit() {
+                    Ok(()) => {
+                        self.stats.commits.fetch_add(1, Relaxed);
+                        return r;
+                    }
+                    Err(a) => a,
+                },
+                Err(a) => a,
+            };
+
+            let take_fallback = match abort.code {
+                AbortCode::Conflict => {
+                    self.stats.aborts_conflict.fetch_add(1, Relaxed);
+                    conflicts += 1;
+                    conflicts > self.policy.max_retries
+                }
+                AbortCode::Capacity => {
+                    self.stats.aborts_capacity.fetch_add(1, Relaxed);
+                    true
+                }
+                AbortCode::FlushInTxn => {
+                    self.stats.aborts_flush.fetch_add(1, Relaxed);
+                    true
+                }
+                AbortCode::Explicit(_) => {
+                    self.stats.aborts_explicit.fetch_add(1, Relaxed);
+                    false
+                }
+            };
+
+            if take_fallback {
+                let guard = self.fallback.acquire();
+                self.stats.fallbacks.fetch_add(1, Relaxed);
+                let mut txn = Txn::irrevocable(self.opts);
+                let result = body(&mut txn);
+                drop(guard);
+                match result {
+                    Ok(r) => {
+                        // Irrevocable "commit" is trivially successful.
+                        return r;
+                    }
+                    Err(a) => {
+                        // Only explicit aborts are possible irrevocably
+                        // (reads/writes/flushes cannot fail). Release the
+                        // lock (done above) and resume optimistically.
+                        debug_assert!(matches!(a.code, AbortCode::Explicit(_)));
+                        self.stats.aborts_explicit.fetch_add(1, Relaxed);
+                        conflicts = 0;
+                    }
+                }
+            }
+            backoff(conflicts);
+        }
+    }
+
+    /// Convenience wrapper for read-only bodies that cannot themselves fail:
+    /// plain closure, no `?` plumbing.
+    pub fn atomic_infallible<'t, R>(&'t self, mut body: impl FnMut(&mut Txn<'t>) -> R) -> R {
+        self.atomic(|txn| Ok(body(txn)))
+    }
+}
+
+struct ResetOnDrop;
+
+impl Drop for ResetOnDrop {
+    fn drop(&mut self) {
+        IN_ATOMIC.with(|f| f.set(false));
+        crate::set_in_transaction(false);
+    }
+}
+
+/// Exponential spin backoff, capped; yields to the OS at high counts so
+/// single-core machines make progress.
+fn backoff(attempt: u32) {
+    if attempt > 4 {
+        std::thread::yield_now();
+        return;
+    }
+    let spins = 1u32 << attempt.min(10);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::TmWord;
+    use std::sync::Arc;
+
+    #[test]
+    fn atomic_swap_is_atomic() {
+        let d = HtmDomain::new();
+        let a = TmWord::new(1);
+        let b = TmWord::new(2);
+        d.atomic(|t| {
+            let x = t.read(&a)?;
+            let y = t.read(&b)?;
+            t.write(&a, y)?;
+            t.write(&b, x)?;
+            Ok(())
+        });
+        assert_eq!((a.load_direct(), b.load_direct()), (2, 1));
+        assert_eq!(d.stats().snapshot().commits, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_updates() {
+        let d = Arc::new(HtmDomain::new());
+        let w = Arc::new(TmWord::new(0));
+        let threads = 4;
+        let per = 2_000u64;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let d = Arc::clone(&d);
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per {
+                    d.atomic(|t| {
+                        let v = t.read(&w)?;
+                        t.write(&w, v + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(w.load_direct(), threads * per);
+    }
+
+    #[test]
+    fn capacity_abort_falls_back_and_still_completes() {
+        let d = HtmDomain::with_options(
+            TxnOptions {
+                read_cap_lines: 2,
+                write_cap_lines: 2,
+            },
+            RetryPolicy::default(),
+        );
+        let words: Vec<TmWord> = (0..64).map(|_| TmWord::new(0)).collect();
+        d.atomic(|t| {
+            for w in &words {
+                t.write(w, 1)?;
+            }
+            Ok(())
+        });
+        for w in &words {
+            assert_eq!(w.load_direct(), 1);
+        }
+        let s = d.stats().snapshot();
+        assert!(s.fallbacks >= 1, "oversized txn must use the fallback");
+        assert!(s.aborts_capacity >= 1);
+    }
+
+    #[test]
+    fn explicit_abort_retries_optimistically() {
+        let d = HtmDomain::new();
+        let w = TmWord::new(0);
+        let mut tries = 0;
+        let r = d.atomic(|t| {
+            tries += 1;
+            if tries < 3 {
+                return Err(t.abort(7));
+            }
+            t.read(&w)
+        });
+        assert_eq!(r, 0);
+        assert_eq!(tries, 3);
+        let s = d.stats().snapshot();
+        assert_eq!(s.aborts_explicit, 2);
+        assert_eq!(s.fallbacks, 0, "explicit aborts must not fall back");
+    }
+
+    #[test]
+    fn flush_in_txn_goes_to_fallback_where_flushing_is_legal() {
+        let d = HtmDomain::new();
+        let flushed = d.atomic(|t| {
+            t.flush_attempt()?; // aborts the optimistic attempt
+            Ok(t.is_irrevocable())
+        });
+        assert!(flushed, "flushing body must complete irrevocably");
+        assert_eq!(d.stats().snapshot().aborts_flush, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn nesting_panics() {
+        let d = HtmDomain::new();
+        let w = TmWord::new(0);
+        d.atomic(|_| {
+            d.atomic(|t| t.read(&w));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn in_transaction_flag_tracks_optimistic_body() {
+        let d = HtmDomain::new();
+        assert!(!crate::in_transaction());
+        d.atomic(|t| {
+            if !t.is_irrevocable() {
+                assert!(crate::in_transaction());
+            }
+            Ok(())
+        });
+        assert!(!crate::in_transaction());
+    }
+
+    #[test]
+    fn fallback_serialises_against_optimistic_txns() {
+        // A writer loops transactionally incrementing (a, b) in lockstep
+        // while another thread forces fallback executions; readers must
+        // never observe a != b.
+        let d = Arc::new(HtmDomain::with_options(
+            TxnOptions {
+                read_cap_lines: 3,
+                write_cap_lines: 3,
+            },
+            RetryPolicy { max_retries: 2 },
+        ));
+        let a = Arc::new(TmWord::new(0));
+        let b = Arc::new(TmWord::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let (d, a, b, stop) = (
+                Arc::clone(&d),
+                Arc::clone(&a),
+                Arc::clone(&b),
+                Arc::clone(&stop),
+            );
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    d.atomic(|t| {
+                        let x = t.read(&a)?;
+                        t.write(&a, x + 1)?;
+                        let y = t.read(&b)?;
+                        t.write(&b, y + 1)
+                    });
+                }
+            }));
+        }
+        let (dr, ar, br) = (Arc::clone(&d), Arc::clone(&a), Arc::clone(&b));
+        let reader = std::thread::spawn(move || {
+            for _ in 0..3_000 {
+                let (x, y) = dr.atomic(|t| {
+                    let x = t.read(&ar)?;
+                    let y = t.read(&br)?;
+                    Ok((x, y))
+                });
+                assert_eq!(x, y, "torn increment observed");
+            }
+        });
+        reader.join().unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load_direct(), b.load_direct());
+    }
+}

@@ -1,0 +1,128 @@
+//! The fallback lock of the lock-elision pattern.
+//!
+//! Real RTM code cannot retry forever: after a few aborts it acquires a
+//! global mutex and runs the critical section non-transactionally. For that
+//! to be safe, every hardware transaction *subscribes* to the mutex — reads
+//! its state inside the transaction — so acquiring it aborts them all.
+//!
+//! Our fallback lock's state word is itself a [`TmWord`]: acquisition and
+//! release are conflict-visible stores, so subscribing is literally
+//! `txn.read(&lock.word)`, and validation at commit kills any transaction
+//! that overlapped a fallback period. [`crate::HtmDomain`] does the
+//! subscription automatically.
+//!
+//! State encoding: even = free, odd = held; the value increases on every
+//! transition, so it doubles as an acquisition counter.
+
+use crate::word::TmWord;
+
+/// A global (per-domain) fallback mutex with transaction subscription.
+#[derive(Debug, Default)]
+pub struct FallbackLock {
+    pub(crate) word: TmWord,
+}
+
+impl FallbackLock {
+    /// Creates a free lock.
+    pub fn new() -> Self {
+        FallbackLock {
+            word: TmWord::new(0),
+        }
+    }
+
+    /// True while some thread holds the fallback lock.
+    #[inline]
+    pub fn is_held(&self) -> bool {
+        self.word.load_direct() % 2 == 1
+    }
+
+    /// Acquires the lock, spinning until free. Returns a guard that releases
+    /// on drop (panic-safe: a poisoned fallback would otherwise wedge every
+    /// transaction in the domain forever).
+    pub fn acquire(&self) -> FallbackGuard<'_> {
+        loop {
+            let cur = self.word.load_direct();
+            if cur.is_multiple_of(2) && self.word.cas_nontx(cur, cur + 1).is_ok() {
+                return FallbackGuard { lock: self };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Spins until the lock is observed free (used before starting an
+    /// optimistic transaction, like the `while (lock_is_held) pause;` loop
+    /// in real elision code).
+    #[inline]
+    pub fn wait_until_free(&self) {
+        while self.is_held() {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// RAII guard for [`FallbackLock`].
+pub struct FallbackGuard<'l> {
+    lock: &'l FallbackLock,
+}
+
+impl Drop for FallbackGuard<'_> {
+    fn drop(&mut self) {
+        let cur = self.lock.word.load_direct();
+        debug_assert_eq!(cur % 2, 1, "releasing a free fallback lock");
+        self.lock.word.store_nontx(cur + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_counts_transitions() {
+        let l = FallbackLock::new();
+        assert!(!l.is_held());
+        {
+            let _g = l.acquire();
+            assert!(l.is_held());
+        }
+        assert!(!l.is_held());
+        assert_eq!(l.word.load_direct(), 2);
+    }
+
+    #[test]
+    fn guard_releases_on_panic() {
+        let l = Arc::new(FallbackLock::new());
+        let l2 = Arc::clone(&l);
+        let res = std::thread::spawn(move || {
+            let _g = l2.acquire();
+            panic!("boom");
+        })
+        .join();
+        assert!(res.is_err());
+        assert!(!l.is_held(), "lock must be released by unwinding");
+    }
+
+    #[test]
+    fn mutual_exclusion() {
+        let l = Arc::new(FallbackLock::new());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let _g = l.acquire();
+                    // Non-atomic-looking RMW under the lock.
+                    let v = c.load(std::sync::atomic::Ordering::Relaxed);
+                    c.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2000);
+    }
+}

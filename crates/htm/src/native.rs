@@ -1,0 +1,75 @@
+//! Thin wrappers over the real Intel RTM intrinsics (`rtm-native` feature).
+//!
+//! This module exists so the reproduction can be pointed at genuine TSX
+//! hardware: it compiles `_xbegin`/`_xend`/`_xabort` wrappers and a
+//! lock-elision executor with the same retry policy as the software domain.
+//! It is **compile-gated only** — the machines this reproduction targets do
+//! not expose working TSX (fused off since 2021 microcode), so nothing in
+//! the test suite or benchmarks depends on it. The software TM in the rest
+//! of this crate is the supported path.
+//!
+//! Safety note: unlike the software TM, native RTM gives no typed access —
+//! the body works on ordinary memory and must uphold the same invariants
+//! the transactional API enforces structurally.
+
+#![cfg(all(feature = "rtm-native", target_arch = "x86_64"))]
+
+use core::arch::x86_64::{_xabort, _xbegin, _xend, _XABORT_CAPACITY, _XABORT_EXPLICIT, _XBEGIN_STARTED};
+
+use crate::fallback::FallbackLock;
+
+/// Result of one native transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeAttempt {
+    /// Transaction committed.
+    Committed,
+    /// Aborted; the raw RTM status word is attached.
+    Aborted(u32),
+}
+
+/// Runs `body` inside a native RTM transaction once.
+///
+/// # Safety
+/// `body` must be abort-safe: it can be cut short at any instruction with
+/// all its stores discarded, and must not perform non-transactional side
+/// effects (I/O, allocation that leaks, flushes).
+pub unsafe fn try_transaction(body: impl FnOnce()) -> NativeAttempt {
+    let status = _xbegin();
+    if status == _XBEGIN_STARTED {
+        body();
+        _xend();
+        NativeAttempt::Committed
+    } else {
+        NativeAttempt::Aborted(status)
+    }
+}
+
+/// Native lock-elision executor: retry `max_retries` times, then run `body`
+/// under `fallback` (which every transaction subscribes to).
+///
+/// # Safety
+/// Same contract as [`try_transaction`]; additionally `body` may run either
+/// transactionally or under the mutex and must be correct for both.
+pub unsafe fn elide(fallback: &FallbackLock, max_retries: u32, mut body: impl FnMut()) {
+    let mut attempts = 0;
+    loop {
+        fallback.wait_until_free();
+        let status = _xbegin();
+        if status == _XBEGIN_STARTED {
+            if fallback.is_held() {
+                _xabort::<0xFF>();
+            }
+            body();
+            _xend();
+            return;
+        }
+        attempts += 1;
+        let hopeless = status & _XABORT_CAPACITY != 0 || status & _XABORT_EXPLICIT != 0;
+        if attempts > max_retries || hopeless {
+            let _guard = fallback.acquire();
+            body();
+            return;
+        }
+        core::hint::spin_loop();
+    }
+}

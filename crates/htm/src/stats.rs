@@ -1,0 +1,131 @@
+//! HTM execution counters: commits, aborts by cause, fallback acquisitions.
+//!
+//! The paper attributes FPTree's poor skewed-workload scalability to
+//! find-transactions aborting against leaf locks; these counters make the
+//! abort economics of every workload directly observable (`repro fig8`
+//! prints them alongside throughput).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters attached to an [`crate::HtmDomain`].
+#[derive(Debug, Default)]
+pub struct HtmStats {
+    /// Optimistic transaction attempts started.
+    pub attempts: AtomicU64,
+    /// Optimistic commits.
+    pub commits: AtomicU64,
+    /// Aborts due to data conflicts.
+    pub aborts_conflict: AtomicU64,
+    /// Aborts due to footprint capacity.
+    pub aborts_capacity: AtomicU64,
+    /// Program-requested (`XABORT`) aborts.
+    pub aborts_explicit: AtomicU64,
+    /// Aborts caused by flush-in-transaction.
+    pub aborts_flush: AtomicU64,
+    /// Times the fallback lock was taken.
+    pub fallbacks: AtomicU64,
+}
+
+impl HtmStats {
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> HtmStatsSnapshot {
+        HtmStatsSnapshot {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
+            aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            aborts_flush: self.aborts_flush.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.attempts.store(0, Ordering::Relaxed);
+        self.commits.store(0, Ordering::Relaxed);
+        self.aborts_conflict.store(0, Ordering::Relaxed);
+        self.aborts_capacity.store(0, Ordering::Relaxed);
+        self.aborts_explicit.store(0, Ordering::Relaxed);
+        self.aborts_flush.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of [`HtmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HtmStatsSnapshot {
+    /// Optimistic attempts.
+    pub attempts: u64,
+    /// Optimistic commits.
+    pub commits: u64,
+    /// Conflict aborts.
+    pub aborts_conflict: u64,
+    /// Capacity aborts.
+    pub aborts_capacity: u64,
+    /// Explicit aborts.
+    pub aborts_explicit: u64,
+    /// Flush-in-txn aborts.
+    pub aborts_flush: u64,
+    /// Fallback acquisitions.
+    pub fallbacks: u64,
+}
+
+impl HtmStatsSnapshot {
+    /// Total aborts across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_flush
+    }
+
+    /// Abort ratio: aborts / attempts (0.0 when idle).
+    pub fn abort_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / self.attempts as f64
+        }
+    }
+
+    /// Counter deltas `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &HtmStatsSnapshot) -> HtmStatsSnapshot {
+        HtmStatsSnapshot {
+            attempts: self.attempts.saturating_sub(earlier.attempts),
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts_conflict: self.aborts_conflict.saturating_sub(earlier.aborts_conflict),
+            aborts_capacity: self.aborts_capacity.saturating_sub(earlier.aborts_capacity),
+            aborts_explicit: self.aborts_explicit.saturating_sub(earlier.aborts_explicit),
+            aborts_flush: self.aborts_flush.saturating_sub(earlier.aborts_flush),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_totals() {
+        let s = HtmStatsSnapshot {
+            attempts: 10,
+            commits: 8,
+            aborts_conflict: 1,
+            aborts_capacity: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.total_aborts(), 2);
+        assert!((s.abort_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(HtmStatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_and_since() {
+        let live = HtmStats::default();
+        live.commits.fetch_add(4, Ordering::Relaxed);
+        let a = live.snapshot();
+        live.commits.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(live.snapshot().since(&a).commits, 3);
+        live.reset();
+        assert_eq!(live.snapshot(), HtmStatsSnapshot::default());
+    }
+}

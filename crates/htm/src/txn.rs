@@ -1,0 +1,431 @@
+//! The transaction object: TL2 read/write sets, per-read validation,
+//! capacity accounting, and two-phase commit.
+//!
+//! See the crate docs for the mapping from RTM semantics to this STM. The
+//! algorithm is classic TL2 (Dice, Shalev, Shavit 2006) specialised to
+//! 64-bit words:
+//!
+//! * `begin`: sample the global clock into the read version `rv`.
+//! * `read w`: validate that `w`'s version lock is free and its version is
+//!   at most `rv`, sandwiching the value load between two lock loads.
+//! * `write w`: buffer the value in the write set (invisible until commit —
+//!   this is the property that models RTM's cache-buffered stores).
+//! * `commit`: lock the write set (sorted, bounded spin), take a commit
+//!   timestamp, re-validate the read set, apply the buffered stores, and
+//!   release the locks at the new version. Read-only transactions commit
+//!   for free: every read was already validated against `rv`.
+//!
+//! Transactions can also run **irrevocably** (the fallback-lock path): reads
+//! wait out committing writers and writes are conflict-visible immediately;
+//! mutual exclusion is provided by the fallback lock in [`crate::HtmDomain`].
+
+use crate::global;
+use crate::word::TmWord;
+use crate::TxResult;
+
+/// Why a transaction aborted. Mirrors the RTM abort-status causes that the
+/// algorithms in this repository care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCode {
+    /// Another thread wrote (or is committing a write to) data in this
+    /// transaction's read or write set.
+    Conflict,
+    /// The transaction's footprint exceeded the L1-cache budget.
+    Capacity,
+    /// The program requested an abort (`XABORT imm8`); the payload is the
+    /// program-supplied code.
+    Explicit(u32),
+    /// A cache-line flush was attempted inside the transaction; real RTM
+    /// always aborts on `CLWB`/`CLFLUSH`.
+    FlushInTxn,
+}
+
+/// An abort token. Returned as the `Err` of transactional operations so the
+/// `?` operator unwinds the transaction body naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort {
+    /// The abort cause.
+    pub code: AbortCode,
+}
+
+impl Abort {
+    pub(crate) const CONFLICT: Abort = Abort {
+        code: AbortCode::Conflict,
+    };
+    pub(crate) const CAPACITY: Abort = Abort {
+        code: AbortCode::Capacity,
+    };
+
+    /// Constructs an explicit (program-requested) abort.
+    pub fn explicit(code: u32) -> Abort {
+        Abort {
+            code: AbortCode::Explicit(code),
+        }
+    }
+}
+
+/// Per-transaction tunables: the capacity model.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnOptions {
+    /// Maximum distinct cache lines readable in one transaction.
+    /// Default 512 (= 32 KiB L1, the paper's machine).
+    pub read_cap_lines: usize,
+    /// Maximum distinct cache lines writable in one transaction.
+    pub write_cap_lines: usize,
+}
+
+impl Default for TxnOptions {
+    fn default() -> Self {
+        TxnOptions {
+            read_cap_lines: 512,
+            write_cap_lines: 512,
+        }
+    }
+}
+
+/// Bounded spin iterations when acquiring a write-set lock at commit.
+const COMMIT_LOCK_SPINS: u32 = 128;
+
+struct OptState<'t> {
+    rv: u64,
+    owner: u64,
+    /// (lock index, observed version), deduplicated by index.
+    read_set: Vec<(usize, u64)>,
+    /// (word, buffered value), deduplicated by word address.
+    write_set: Vec<(&'t TmWord, u64)>,
+    /// Distinct cache lines read / written (capacity model).
+    read_lines: Vec<usize>,
+    write_lines: Vec<usize>,
+}
+
+enum Mode<'t> {
+    Optimistic(OptState<'t>),
+    Irrevocable,
+}
+
+/// A running transaction. Obtained from [`crate::HtmDomain::atomic`].
+pub struct Txn<'t> {
+    mode: Mode<'t>,
+    opts: TxnOptions,
+}
+
+impl<'t> Txn<'t> {
+    pub(crate) fn optimistic(opts: TxnOptions) -> Self {
+        Txn {
+            mode: Mode::Optimistic(OptState {
+                rv: global::clock_read(),
+                owner: global::next_ticket(),
+                read_set: Vec::with_capacity(16),
+                write_set: Vec::with_capacity(8),
+                read_lines: Vec::with_capacity(16),
+                write_lines: Vec::with_capacity(8),
+            }),
+            opts,
+        }
+    }
+
+    pub(crate) fn irrevocable(opts: TxnOptions) -> Self {
+        Txn {
+            mode: Mode::Irrevocable,
+            opts,
+        }
+    }
+
+    /// True on the fallback-lock (irrevocable) path.
+    pub fn is_irrevocable(&self) -> bool {
+        matches!(self.mode, Mode::Irrevocable)
+    }
+
+    /// Transactionally reads a word.
+    pub fn read(&mut self, w: &'t TmWord) -> TxResult<u64> {
+        let opts = self.opts;
+        match &mut self.mode {
+            Mode::Irrevocable => {
+                // Wait out any committing optimistic writer so we never see
+                // a torn multi-word commit (they hold their locks across the
+                // whole apply phase).
+                let idx = w.lock_idx();
+                while global::is_locked(global::lock_load(idx)) {
+                    std::hint::spin_loop();
+                }
+                Ok(w.load_direct())
+            }
+            Mode::Optimistic(st) => {
+                if let Some(&(_, v)) = st.write_set.iter().find(|(sw, _)| std::ptr::eq(*sw, w)) {
+                    return Ok(v);
+                }
+                let idx = w.lock_idx();
+                let l1 = global::lock_load(idx);
+                if global::is_locked(l1) {
+                    return Err(Abort::CONFLICT);
+                }
+                let v = w.load_direct();
+                let l2 = global::lock_load(idx);
+                if l1 != l2 || l1 > st.rv {
+                    return Err(Abort::CONFLICT);
+                }
+                match st.read_set.iter().find(|(i, _)| *i == idx) {
+                    Some(&(_, observed)) if observed != l1 => return Err(Abort::CONFLICT),
+                    Some(_) => {}
+                    None => st.read_set.push((idx, l1)),
+                }
+                let line = w.addr() >> 6;
+                if !st.read_lines.contains(&line) {
+                    if st.read_lines.len() >= opts.read_cap_lines {
+                        return Err(Abort::CAPACITY);
+                    }
+                    st.read_lines.push(line);
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    /// Transactionally writes a word. The store is buffered until commit in
+    /// optimistic mode; conflict-visible immediately in irrevocable mode.
+    pub fn write(&mut self, w: &'t TmWord, val: u64) -> TxResult<()> {
+        let opts = self.opts;
+        match &mut self.mode {
+            Mode::Irrevocable => {
+                w.store_nontx(val);
+                Ok(())
+            }
+            Mode::Optimistic(st) => {
+                if let Some(entry) = st.write_set.iter_mut().find(|(sw, _)| std::ptr::eq(*sw, w)) {
+                    entry.1 = val;
+                    return Ok(());
+                }
+                let line = w.addr() >> 6;
+                if !st.write_lines.contains(&line) {
+                    if st.write_lines.len() >= opts.write_cap_lines {
+                        return Err(Abort::CAPACITY);
+                    }
+                    st.write_lines.push(line);
+                }
+                st.write_set.push((w, val));
+                Ok(())
+            }
+        }
+    }
+
+    /// Read-modify-write convenience: `w = f(w)`, returning the old value.
+    pub fn update(&mut self, w: &'t TmWord, f: impl FnOnce(u64) -> u64) -> TxResult<u64> {
+        let old = self.read(w)?;
+        self.write(w, f(old))?;
+        Ok(old)
+    }
+
+    /// Program-requested abort (`XABORT`).
+    pub fn abort(&self, code: u32) -> Abort {
+        Abort::explicit(code)
+    }
+
+    /// Models issuing a cache-line flush inside the transaction: aborts in
+    /// optimistic mode (as `CLWB` aborts real RTM), succeeds on the
+    /// irrevocable fallback path (where real code flushes under the lock).
+    pub fn flush_attempt(&self) -> TxResult<()> {
+        match self.mode {
+            Mode::Optimistic(_) => Err(Abort {
+                code: AbortCode::FlushInTxn,
+            }),
+            Mode::Irrevocable => Ok(()),
+        }
+    }
+
+    /// Number of buffered writes (diagnostic).
+    pub fn write_set_len(&self) -> usize {
+        match &self.mode {
+            Mode::Optimistic(st) => st.write_set.len(),
+            Mode::Irrevocable => 0,
+        }
+    }
+
+    /// Two-phase commit. Consumes the transaction.
+    pub(crate) fn commit(self) -> TxResult<()> {
+        let st = match self.mode {
+            Mode::Irrevocable => return Ok(()),
+            Mode::Optimistic(st) => st,
+        };
+        if st.write_set.is_empty() {
+            // Read-only: every read was validated against rv when it
+            // happened, so the snapshot is already consistent.
+            return Ok(());
+        }
+
+        // Phase 1: lock the write set in sorted lock-index order.
+        let mut lock_idxs: Vec<usize> = st.write_set.iter().map(|(w, _)| w.lock_idx()).collect();
+        lock_idxs.sort_unstable();
+        lock_idxs.dedup();
+        let mut acquired: Vec<(usize, u64)> = Vec::with_capacity(lock_idxs.len());
+        for &idx in &lock_idxs {
+            let mut spins = COMMIT_LOCK_SPINS;
+            loop {
+                let cur = global::lock_load(idx);
+                if !global::is_locked(cur) && global::lock_try_acquire(idx, cur, st.owner) {
+                    acquired.push((idx, cur));
+                    break;
+                }
+                spins -= 1;
+                if spins == 0 {
+                    release_all(&acquired);
+                    return Err(Abort::CONFLICT);
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        // Phase 2: commit timestamp, then read-set validation.
+        let wv = global::clock_bump();
+        for &(idx, observed) in &st.read_set {
+            let ok = match acquired.iter().find(|(i, _)| *i == idx) {
+                Some(&(_, prev)) => prev == observed,
+                None => global::lock_load(idx) == observed,
+            };
+            if !ok {
+                release_all(&acquired);
+                return Err(Abort::CONFLICT);
+            }
+        }
+
+        // Phase 3: apply buffered stores, then release at the new version.
+        for (w, v) in &st.write_set {
+            w.0.store(*v, std::sync::atomic::Ordering::SeqCst);
+        }
+        for &(idx, _) in &acquired {
+            global::lock_release(idx, wv);
+        }
+        Ok(())
+    }
+}
+
+/// Restores pre-lock versions after a failed commit.
+fn release_all(acquired: &[(usize, u64)]) {
+    for &(idx, prev) in acquired {
+        global::lock_release(idx, prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_write_is_invisible_until_commit() {
+        let w = TmWord::new(1);
+        let mut txn = Txn::optimistic(TxnOptions::default());
+        txn.write(&w, 2).unwrap();
+        assert_eq!(w.load_direct(), 1, "store must stay buffered");
+        assert_eq!(txn.read(&w).unwrap(), 2, "read-own-write");
+        txn.commit().unwrap();
+        assert_eq!(w.load_direct(), 2);
+    }
+
+    #[test]
+    fn dropped_txn_discards_writes() {
+        let w = TmWord::new(1);
+        {
+            let mut txn = Txn::optimistic(TxnOptions::default());
+            txn.write(&w, 99).unwrap();
+        }
+        assert_eq!(w.load_direct(), 1);
+    }
+
+    #[test]
+    fn read_capacity_abort() {
+        let words: Vec<TmWord> = (0..100).map(TmWord::new).collect();
+        let opts = TxnOptions {
+            read_cap_lines: 4,
+            write_cap_lines: 4,
+        };
+        let mut txn = Txn::optimistic(opts);
+        let mut aborted = None;
+        for w in &words {
+            if let Err(a) = txn.read(w) {
+                aborted = Some(a);
+                break;
+            }
+        }
+        // 100 contiguous words = 800 B ≥ 13 lines, far past the 4-line cap.
+        assert_eq!(aborted.map(|a| a.code), Some(AbortCode::Capacity));
+    }
+
+    #[test]
+    fn write_capacity_abort() {
+        let words: Vec<TmWord> = (0..100).map(TmWord::new).collect();
+        let opts = TxnOptions {
+            read_cap_lines: 512,
+            write_cap_lines: 2,
+        };
+        let mut txn = Txn::optimistic(opts);
+        let mut aborted = None;
+        for w in &words {
+            if let Err(a) = txn.write(w, 0) {
+                aborted = Some(a);
+                break;
+            }
+        }
+        assert_eq!(aborted.map(|a| a.code), Some(AbortCode::Capacity));
+    }
+
+    #[test]
+    fn nontx_store_conflicts_reader() {
+        let w = TmWord::new(0);
+        let mut txn = Txn::optimistic(TxnOptions::default());
+        let _ = txn.read(&w).unwrap();
+        w.store_nontx(1); // concurrent plain store, conflict-visible
+        // Reading again must observe a version bump and abort.
+        let r = txn.read(&w);
+        assert_eq!(r, Err(Abort::CONFLICT));
+    }
+
+    #[test]
+    fn writer_validation_catches_interleaved_commit() {
+        let a = TmWord::new(0);
+        let b = TmWord::new(0);
+        let mut t1 = Txn::optimistic(TxnOptions::default());
+        let va = t1.read(&a).unwrap();
+        t1.write(&b, va + 1).unwrap();
+        // Another thread commits a write to `a` in between.
+        a.store_nontx(7);
+        assert_eq!(t1.commit(), Err(Abort::CONFLICT));
+        assert_eq!(b.load_direct(), 0, "aborted txn must not publish");
+    }
+
+    #[test]
+    fn flush_attempt_aborts_optimistic_only() {
+        let t = Txn::optimistic(TxnOptions::default());
+        assert_eq!(
+            t.flush_attempt().unwrap_err().code,
+            AbortCode::FlushInTxn
+        );
+        let t = Txn::irrevocable(TxnOptions::default());
+        assert!(t.flush_attempt().is_ok());
+    }
+
+    #[test]
+    fn irrevocable_rw_is_immediate() {
+        let w = TmWord::new(3);
+        let mut t = Txn::irrevocable(TxnOptions::default());
+        assert_eq!(t.read(&w).unwrap(), 3);
+        t.write(&w, 4).unwrap();
+        assert_eq!(w.load_direct(), 4, "irrevocable writes publish at once");
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn explicit_abort_carries_code() {
+        let t = Txn::optimistic(TxnOptions::default());
+        assert_eq!(t.abort(0xAB).code, AbortCode::Explicit(0xAB));
+    }
+
+    #[test]
+    fn read_only_commit_is_free_and_consistent() {
+        let a = TmWord::new(10);
+        let b = TmWord::new(20);
+        let mut t = Txn::optimistic(TxnOptions::default());
+        let x = t.read(&a).unwrap();
+        let y = t.read(&b).unwrap();
+        assert_eq!(x + y, 30);
+        t.commit().unwrap();
+    }
+}

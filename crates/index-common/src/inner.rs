@@ -1,0 +1,471 @@
+//! The volatile internal-node tree shared by all persistent trees.
+//!
+//! Internal nodes are DRAM-resident `Inner` structs whose fields are
+//! [`TmWord`]s, so every traversal and structural update can run inside a
+//! hardware transaction (paper Table 2: `htmTreeTraverse`, `htmTreeUpdate`).
+//! Child references are tagged words: leaf children carry a persistent-pool
+//! offset (bit 63 set), inner children carry a DRAM pointer.
+//!
+//! Invariants:
+//! * an inner node with `count` keys `k₀ < k₁ < … < k_{count-1}` has
+//!   `count + 1` children; child `i ≤ count-1` covers keys `≤ kᵢ` (and
+//!   `> k_{i-1}`), child `count` covers keys `> k_{count-1}`;
+//! * separators are the **maximum key of the left subtree**, which is what
+//!   recovery can reconstruct from the leaf chain (paper §5.4);
+//! * inner nodes are never freed while the index is alive (splits only add
+//!   nodes; leaf compaction swaps a child in place), so a transactional
+//!   reader can never dereference a dangling inner pointer. All nodes are
+//!   owned by a registry and freed when the [`InnerIndex`] drops.
+
+use std::sync::Mutex;
+
+use htm::{HtmDomain, TmWord, TxResult, Txn};
+
+use crate::{is_leaf_ref, Key};
+
+/// Maximum children per internal node.
+pub const INNER_FANOUT: usize = 32;
+/// Maximum separator keys per internal node.
+const MAX_KEYS: usize = INNER_FANOUT - 1;
+
+/// A volatile internal node. All fields are transactional words.
+struct Inner {
+    /// Number of separator keys (children = count + 1).
+    count: TmWord,
+    keys: [TmWord; MAX_KEYS],
+    children: [TmWord; INNER_FANOUT],
+}
+
+impl Inner {
+    fn new_empty() -> Box<Inner> {
+        Box::new(Inner {
+            count: TmWord::new(0),
+            keys: std::array::from_fn(|_| TmWord::new(0)),
+            children: std::array::from_fn(|_| TmWord::new(0)),
+        })
+    }
+}
+
+/// The shared internal-node index: a map from keys to persistent leaf
+/// offsets. See the module docs for structure and invariants.
+pub struct InnerIndex {
+    root: TmWord,
+    domain: HtmDomain,
+    /// Every inner node ever allocated (including nodes orphaned by aborted
+    /// transactions or recovery rebuilds); freed on drop.
+    registry: Mutex<Vec<*mut Inner>>,
+}
+
+// SAFETY: the registry's raw pointers are only dereferenced through the
+// transactional protocol (valid for the index lifetime) and freed with
+// exclusive access in Drop.
+unsafe impl Send for InnerIndex {}
+unsafe impl Sync for InnerIndex {}
+
+impl InnerIndex {
+    /// Creates an index whose single child is the given leaf reference
+    /// (use [`crate::leaf_ref`] to build it).
+    pub fn new(initial_child: u64) -> Self {
+        assert!(is_leaf_ref(initial_child), "root must start as a leaf");
+        InnerIndex {
+            root: TmWord::new(initial_child),
+            domain: HtmDomain::new(),
+            registry: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The HTM domain shared by this tree (leaf-level HTM functions of the
+    /// owning tree run in the same domain, sharing one fallback lock per
+    /// tree as real per-structure elision code would).
+    pub fn domain(&self) -> &HtmDomain {
+        &self.domain
+    }
+
+    /// Allocates an inner node owned by the registry.
+    ///
+    /// Allocation may happen inside a transaction body; if that attempt
+    /// aborts, the node is simply garbage until the index drops — wasted
+    /// memory, never a dangling pointer.
+    fn alloc_inner(&self) -> *mut Inner {
+        let ptr = Box::into_raw(Inner::new_empty());
+        self.registry.lock().unwrap().push(ptr);
+        ptr
+    }
+
+    #[inline]
+    fn deref(&self, node_ref: u64) -> &Inner {
+        debug_assert!(!is_leaf_ref(node_ref));
+        // SAFETY: non-leaf child references are only ever written as valid
+        // `Inner` pointers from `alloc_inner`, and inners live as long as
+        // `self` (registry + Drop).
+        unsafe { &*(node_ref as *const Inner) }
+    }
+
+    /// Binary search: first child index whose subtree may contain `key`.
+    fn search_child<'t>(&'t self, txn: &mut Txn<'t>, inner: &'t Inner, key: Key) -> TxResult<usize> {
+        let cnt = (txn.read(&inner.count)? as usize).min(MAX_KEYS);
+        let (mut lo, mut hi) = (0usize, cnt);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let k = txn.read(&inner.keys[mid])?;
+            if key <= k {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// `htmTreeTraverse` body: walks from the root to the leaf whose range
+    /// covers `key`, inside the caller's transaction. Returns the leaf
+    /// offset. Composable: FPTree reads the leaf's lock word in the same
+    /// transaction.
+    pub fn traverse_in<'t>(&'t self, txn: &mut Txn<'t>, key: Key) -> TxResult<u64> {
+        let mut node_ref = txn.read(&self.root)?;
+        while !is_leaf_ref(node_ref) {
+            let inner = self.deref(node_ref);
+            let idx = self.search_child(txn, inner, key)?;
+            node_ref = txn.read(&inner.children[idx])?;
+        }
+        Ok(crate::leaf_off(node_ref))
+    }
+
+    /// `htmTreeTraverse` as a standalone HTM function (paper Table 2).
+    pub fn traverse_tm(&self, key: Key) -> u64 {
+        self.domain.atomic(|txn| self.traverse_in(txn, key))
+    }
+
+    /// Sequential traversal for quiescent phases (single-threaded
+    /// benchmarks, recovery verification). Must not run concurrently with
+    /// transactional structure updates.
+    pub fn traverse_seq(&self, key: Key) -> u64 {
+        let mut node_ref = self.root.load_seq();
+        while !is_leaf_ref(node_ref) {
+            let inner = self.deref(node_ref);
+            let cnt = (inner.count.load_seq() as usize).min(MAX_KEYS);
+            let (mut lo, mut hi) = (0usize, cnt);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if key <= inner.keys[mid].load_seq() {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            node_ref = inner.children[lo].load_seq();
+        }
+        crate::leaf_off(node_ref)
+    }
+
+    /// `htmTreeUpdate` (paper Table 2): after a leaf split, registers the
+    /// new right sibling. `sep` is the maximum key remaining in the old
+    /// (left) leaf; `new_child` (a leaf reference) covers keys `> sep` up to
+    /// the old leaf's previous upper bound.
+    pub fn tree_update(&self, sep: Key, new_child: u64) {
+        self.domain.atomic(|txn| self.tree_update_in(txn, sep, new_child));
+    }
+
+    fn tree_update_in<'t>(&'t self, txn: &mut Txn<'t>, sep: Key, new_child: u64) -> TxResult<()> {
+        // Descend to the leaf covering `sep`, recording the path.
+        let mut path: Vec<(&'t Inner, usize)> = Vec::with_capacity(8);
+        let mut node_ref = txn.read(&self.root)?;
+        while !is_leaf_ref(node_ref) {
+            let inner = self.deref(node_ref);
+            let idx = self.search_child(txn, inner, sep)?;
+            path.push((inner, idx));
+            node_ref = txn.read(&inner.children[idx])?;
+        }
+
+        // Insert (sep, new_child) to the right of the found child, walking
+        // back up on overflow.
+        let mut pending_key = sep;
+        let mut pending_child = new_child;
+        loop {
+            let Some((inner, idx)) = path.pop() else {
+                // Split reached the root (or the root is a leaf): grow.
+                let old_root = txn.read(&self.root)?;
+                let new_root = self.alloc_inner();
+                let nr = self.deref(new_root as u64);
+                nr.count.store_seq(1);
+                nr.keys[0].store_seq(pending_key);
+                nr.children[0].store_seq(old_root);
+                nr.children[1].store_seq(pending_child);
+                txn.write(&self.root, new_root as u64)?;
+                return Ok(());
+            };
+            let cnt = (txn.read(&inner.count)? as usize).min(MAX_KEYS);
+            if cnt < MAX_KEYS {
+                // Room: shift keys[idx..cnt] and children[idx+1..cnt+1]
+                // right by one, then place the new separator and child.
+                let mut i = cnt;
+                while i > idx {
+                    let k = txn.read(&inner.keys[i - 1])?;
+                    txn.write(&inner.keys[i], k)?;
+                    let c = txn.read(&inner.children[i])?;
+                    txn.write(&inner.children[i + 1], c)?;
+                    i -= 1;
+                }
+                txn.write(&inner.keys[idx], pending_key)?;
+                txn.write(&inner.children[idx + 1], pending_child)?;
+                txn.write(&inner.count, (cnt + 1) as u64)?;
+                return Ok(());
+            }
+
+            // Full inner node: split it. Left keeps keys[0..mid] and
+            // children[0..mid+1]; right takes keys[mid+1..] and
+            // children[mid+1..]; keys[mid] moves up.
+            let mid = cnt / 2;
+            let up_key = txn.read(&inner.keys[mid])?;
+            let right_ptr = self.alloc_inner();
+            let right = self.deref(right_ptr as u64);
+            let right_cnt = cnt - mid - 1;
+            for i in 0..right_cnt {
+                right.keys[i].store_seq(txn.read(&inner.keys[mid + 1 + i])?);
+            }
+            for i in 0..=right_cnt {
+                right.children[i].store_seq(txn.read(&inner.children[mid + 1 + i])?);
+            }
+            right.count.store_seq(right_cnt as u64);
+            txn.write(&inner.count, mid as u64)?;
+
+            // Now insert the pending entry into the proper half. The fresh
+            // right half is private until this transaction commits, so it
+            // can be edited with plain stores.
+            if pending_key <= up_key {
+                debug_assert!(idx <= mid);
+                let mut i = mid;
+                while i > idx {
+                    let k = txn.read(&inner.keys[i - 1])?;
+                    txn.write(&inner.keys[i], k)?;
+                    let c = txn.read(&inner.children[i])?;
+                    txn.write(&inner.children[i + 1], c)?;
+                    i -= 1;
+                }
+                txn.write(&inner.keys[idx], pending_key)?;
+                txn.write(&inner.children[idx + 1], pending_child)?;
+                txn.write(&inner.count, (mid + 1) as u64)?;
+            } else {
+                let ridx = idx - (mid + 1);
+                let mut i = right_cnt;
+                while i > ridx {
+                    right.keys[i].store_seq(right.keys[i - 1].load_seq());
+                    right.children[i + 1].store_seq(right.children[i].load_seq());
+                    i -= 1;
+                }
+                right.keys[ridx].store_seq(pending_key);
+                right.children[ridx + 1].store_seq(pending_child);
+                right.count.store_seq((right_cnt + 1) as u64);
+            }
+
+            // Propagate (up_key, right half) to the parent.
+            pending_key = up_key;
+            pending_child = right_ptr as u64;
+        }
+    }
+
+    /// Swaps the child covering `key` from `old_child` to `new_child`
+    /// (leaf compaction). Returns false if the current child is not
+    /// `old_child` (someone else restructured first).
+    pub fn replace_child(&self, key: Key, old_child: u64, new_child: u64) -> bool {
+        self.domain.atomic(|txn| {
+            let mut parent: Option<(&Inner, usize)> = None;
+            let mut node_ref = txn.read(&self.root)?;
+            while !is_leaf_ref(node_ref) {
+                let inner = self.deref(node_ref);
+                let idx = self.search_child(txn, inner, key)?;
+                parent = Some((inner, idx));
+                node_ref = txn.read(&inner.children[idx])?;
+            }
+            if node_ref != old_child {
+                return Ok(false);
+            }
+            match parent {
+                Some((inner, idx)) => txn.write(&inner.children[idx], new_child)?,
+                None => txn.write(&self.root, new_child)?,
+            }
+            Ok(true)
+        })
+    }
+
+    /// Rebuilds the internal levels bottom-up from `(max_key, leaf_ref)`
+    /// pairs sorted by key (paper §5.4 recovery). Quiescent phases only.
+    ///
+    /// Old inner nodes stay in the registry (freed on drop); the root is
+    /// swapped atomically at the end so late readers see a coherent tree.
+    pub fn bulk_build(&self, leaves: &[(Key, u64)]) {
+        assert!(!leaves.is_empty(), "bulk_build needs at least one leaf");
+        debug_assert!(leaves.windows(2).all(|w| w[0].0 < w[1].0), "leaves must be sorted");
+        let mut level: Vec<(Key, u64)> = leaves.to_vec();
+        while level.len() > 1 {
+            let mut next: Vec<(Key, u64)> = Vec::with_capacity(level.len().div_ceil(INNER_FANOUT));
+            for group in level.chunks(INNER_FANOUT) {
+                let node_ptr = self.alloc_inner();
+                let node = self.deref(node_ptr as u64);
+                for (i, (k, r)) in group.iter().enumerate() {
+                    node.children[i].store_seq(*r);
+                    if i + 1 < group.len() {
+                        node.keys[i].store_seq(*k);
+                    }
+                }
+                node.count.store_seq((group.len() - 1) as u64);
+                next.push((group.last().unwrap().0, node_ptr as u64));
+            }
+            level = next;
+        }
+        self.root.store_nontx(level[0].1);
+    }
+
+    /// Depth of the tree (1 = root is a leaf). Quiescent diagnostic.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node_ref = self.root.load_seq();
+        while !is_leaf_ref(node_ref) {
+            d += 1;
+            node_ref = self.deref(node_ref).children[0].load_seq();
+        }
+        d
+    }
+}
+
+impl Drop for InnerIndex {
+    fn drop(&mut self) {
+        for ptr in self.registry.lock().unwrap().drain(..) {
+            // SAFETY: allocated by Box::into_raw in alloc_inner; exclusive
+            // access here (&mut self).
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leaf_ref;
+
+    /// Builds an index over fake leaves with max keys 10, 20, …, n*10 and
+    /// offsets 1000, 2000, ….
+    fn build(n: usize) -> InnerIndex {
+        let leaves: Vec<(Key, u64)> = (1..=n as u64).map(|i| (i * 10, leaf_ref(i * 1000))).collect();
+        let idx = InnerIndex::new(leaves[0].1);
+        idx.bulk_build(&leaves);
+        idx
+    }
+
+    #[test]
+    fn single_leaf_traversal() {
+        let idx = InnerIndex::new(leaf_ref(4096));
+        assert_eq!(idx.traverse_tm(0), 4096);
+        assert_eq!(idx.traverse_tm(u64::MAX), 4096);
+        assert_eq!(idx.traverse_seq(5), 4096);
+        assert_eq!(idx.depth(), 1);
+    }
+
+    #[test]
+    fn bulk_build_routes_keys_to_covering_leaves() {
+        let idx = build(100);
+        assert!(idx.depth() >= 2);
+        for key in [1u64, 10, 11, 55, 100, 999, 1000] {
+            let expect = 1000 * key.div_ceil(10).clamp(1, 100);
+            assert_eq!(idx.traverse_tm(key), expect, "key {key}");
+            assert_eq!(idx.traverse_seq(key), expect, "key {key} (seq)");
+        }
+        // Keys beyond every separator land in the last leaf.
+        assert_eq!(idx.traverse_tm(u64::MAX), 100_000);
+    }
+
+    #[test]
+    fn tree_update_inserts_right_sibling() {
+        // One leaf covering everything; split it at sep=50: left keeps ≤50
+        // at offset 1000, right (2000) takes >50.
+        let idx = InnerIndex::new(leaf_ref(1000));
+        idx.tree_update(50, leaf_ref(2000));
+        assert_eq!(idx.traverse_tm(50), 1000);
+        assert_eq!(idx.traverse_tm(51), 2000);
+        assert_eq!(idx.depth(), 2);
+    }
+
+    #[test]
+    fn many_sequential_splits_grow_multiple_levels() {
+        // Start with one leaf at 1000 covering all keys, then split off
+        // leaves 2000.. so leaf i covers (10(i-1), 10i].
+        let idx = InnerIndex::new(leaf_ref(1000));
+        let n = 200u64;
+        // Each split: the leftover left leaf keeps ≤ sep; the new right
+        // leaf covers the rest. Split from the right edge inward.
+        for i in (1..n).rev() {
+            idx.tree_update(i * 10, leaf_ref((i + 1) * 1000));
+        }
+        assert!(idx.depth() >= 3, "depth {}", idx.depth());
+        for key in 1..=(n * 10) {
+            let expect = 1000 * key.div_ceil(10).clamp(1, n);
+            assert_eq!(idx.traverse_tm(key), expect, "key {key}");
+        }
+    }
+
+    #[test]
+    fn replace_child_swaps_only_on_match() {
+        let idx = build(10);
+        // Leaf covering key 35 is leaf 4 (offset 4000).
+        assert!(idx.replace_child(35, leaf_ref(4000), leaf_ref(9_990_000)));
+        assert_eq!(idx.traverse_tm(35), 9_990_000);
+        // Stale expectation must fail and leave things untouched.
+        assert!(!idx.replace_child(35, leaf_ref(4000), leaf_ref(123)));
+        assert_eq!(idx.traverse_tm(35), 9_990_000);
+    }
+
+    #[test]
+    fn replace_child_at_leaf_root() {
+        let idx = InnerIndex::new(leaf_ref(500));
+        assert!(idx.replace_child(7, leaf_ref(500), leaf_ref(600)));
+        assert_eq!(idx.traverse_tm(7), 600);
+    }
+
+    #[test]
+    fn concurrent_traversals_during_updates_always_route_validly() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let idx = Arc::new(InnerIndex::new(leaf_ref(1000)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for t in 0..2 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut x = 12345u64 + t;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = x % 2000;
+                    let off = idx.traverse_tm(key);
+                    // Offsets are only ever multiples of 1000 in this test.
+                    assert_eq!(off % 1000, 0);
+                    assert!(off >= 1000);
+                }
+            }));
+        }
+        // Writer: carve 2000 keys into 200 leaves right-to-left.
+        for i in (1..200u64).rev() {
+            idx.tree_update(i * 10, leaf_ref((i + 1) * 1000));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // Final routing is exact.
+        for key in 1..=2000u64 {
+            let expect = 1000 * key.div_ceil(10).clamp(1, 200);
+            assert_eq!(idx.traverse_seq(key), expect);
+        }
+    }
+
+    #[test]
+    fn bulk_build_single_chunk_sizes() {
+        for n in [1usize, 2, 31, 32, 33, 64, 65] {
+            let idx = build(n);
+            for i in 1..=n as u64 {
+                assert_eq!(idx.traverse_tm(i * 10), i * 1000, "n={n} key={}", i * 10);
+                assert_eq!(idx.traverse_tm(i * 10 - 9), i * 1000);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The operation interface shared by RNTree and every baseline tree.
+
+use crate::{Key, Value};
+
+/// Errors surfaced by conditional operations (paper §3.3: *conditional
+/// write* — insert fails on a duplicate key, update/remove fail on a missing
+/// key) and by resource exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// Conditional insert found the key already present.
+    AlreadyExists,
+    /// Conditional update/remove found no such key.
+    NotFound,
+    /// The persistent pool is out of leaf blocks.
+    PoolExhausted,
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::AlreadyExists => write!(f, "key already exists"),
+            OpError::NotFound => write!(f, "key not found"),
+            OpError::PoolExhausted => write!(f, "persistent pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+/// Structural statistics reported by [`PersistentIndex::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Leaf nodes currently linked into the leaf chain.
+    pub leaves: u64,
+    /// Live key-value pairs (visible entries).
+    pub entries: u64,
+    /// Leaf splits performed.
+    pub splits: u64,
+}
+
+/// A durable ordered key-value index over simulated NVM.
+///
+/// All methods take `&self`: concurrent trees (RNTree, FPTree) synchronise
+/// internally; single-threaded trees (NVTree, wB+Tree, CDDS) are `Sync`
+/// only in the trivial sense and document that callers must not share them
+/// across threads while mutating ([`PersistentIndex::supports_concurrency`]).
+pub trait PersistentIndex: Send + Sync {
+    /// Conditional insert: fails with [`OpError::AlreadyExists`] if the key
+    /// is present. Trees without conditional-write support (plain NVTree
+    /// mode) document insert-as-upsert behaviour instead.
+    fn insert(&self, key: Key, value: Value) -> Result<(), OpError>;
+
+    /// Conditional update: fails with [`OpError::NotFound`] if absent.
+    fn update(&self, key: Key, value: Value) -> Result<(), OpError>;
+
+    /// Insert-or-update, never fails on key presence.
+    fn upsert(&self, key: Key, value: Value) -> Result<(), OpError>;
+
+    /// Removes the key. Fails with [`OpError::NotFound`] if absent.
+    fn remove(&self, key: Key) -> Result<(), OpError>;
+
+    /// Point lookup.
+    fn find(&self, key: Key) -> Option<Value>;
+
+    /// Range query: collects up to `n` pairs with key ≥ `start`, in key
+    /// order, into `out` (cleared first). Returns the number collected.
+    /// This is the paper's range query with a count-based filter function.
+    fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize;
+
+    /// Short name for benchmark tables ("RNTree", "FPTree", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether concurrent callers are supported (paper Table 1).
+    fn supports_concurrency(&self) -> bool {
+        false
+    }
+
+    /// Structural statistics.
+    fn stats(&self) -> TreeStats;
+
+    /// HTM abort ratio (aborts/attempts) of the tree's transaction domain,
+    /// when the tree uses one. `None` for non-HTM trees.
+    fn htm_abort_ratio(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_error_displays() {
+        assert_eq!(OpError::AlreadyExists.to_string(), "key already exists");
+        assert_eq!(OpError::NotFound.to_string(), "key not found");
+        assert_eq!(OpError::PoolExhausted.to_string(), "persistent pool exhausted");
+    }
+}

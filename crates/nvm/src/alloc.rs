@@ -1,0 +1,213 @@
+//! Fixed-size block allocator over a pmem region.
+//!
+//! Leaf nodes of every tree in this reproduction are fixed-size blocks, so a
+//! bump pointer plus a free list is sufficient (the paper does not describe
+//! a general persistent allocator). Allocator *metadata* is volatile, as in
+//! most NVM systems that rebuild allocation state during recovery by
+//! scanning reachable structures: [`BlockAllocator::rebuild`] reconstructs
+//! the bump pointer and free list from the set of reachable block offsets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Allocator for fixed-size, cache-line-aligned blocks inside `[start, end)`
+/// of a [`crate::PmemPool`].
+#[derive(Debug)]
+pub struct BlockAllocator {
+    start: u64,
+    end: u64,
+    block_size: u64,
+    /// Next never-allocated block offset.
+    bump: AtomicU64,
+    /// Previously freed blocks available for reuse.
+    free: Mutex<Vec<u64>>,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator for `block_size`-byte blocks in `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the region is empty, misaligned to 64 B, or smaller than one
+    /// block.
+    pub fn new(start: u64, end: u64, block_size: u64) -> Self {
+        assert!(block_size > 0 && block_size.is_multiple_of(64), "block size must be a positive multiple of 64");
+        assert!(start.is_multiple_of(64), "region start must be line-aligned");
+        assert!(end >= start + block_size, "region must hold at least one block");
+        BlockAllocator {
+            start,
+            end,
+            block_size,
+            bump: AtomicU64::new(start),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Block size in bytes.
+    #[inline]
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Start of the managed region.
+    #[inline]
+    pub fn region_start(&self) -> u64 {
+        self.start
+    }
+
+    /// End (exclusive) of the managed region.
+    #[inline]
+    pub fn region_end(&self) -> u64 {
+        self.end
+    }
+
+    /// Allocates one block, returning its pool offset, or `None` when the
+    /// region is exhausted.
+    pub fn alloc(&self) -> Option<u64> {
+        if let Some(off) = self.free.lock().pop() {
+            return Some(off);
+        }
+        let mut cur = self.bump.load(Ordering::Relaxed);
+        loop {
+            if cur + self.block_size > self.end {
+                return None;
+            }
+            match self.bump.compare_exchange_weak(
+                cur,
+                cur + self.block_size,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(cur),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns a block to the free list.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `off` is not a block boundary inside the
+    /// region.
+    pub fn free(&self, off: u64) {
+        debug_assert!(off >= self.start && off + self.block_size <= self.end);
+        debug_assert_eq!((off - self.start) % self.block_size, 0);
+        self.free.lock().push(off);
+    }
+
+    /// Number of blocks currently handed out (allocated minus freed).
+    pub fn live_blocks(&self) -> u64 {
+        let bumped = (self.bump.load(Ordering::Relaxed) - self.start) / self.block_size;
+        bumped - self.free.lock().len() as u64
+    }
+
+    /// Total block capacity of the region.
+    pub fn capacity_blocks(&self) -> u64 {
+        (self.end - self.start) / self.block_size
+    }
+
+    /// Recovery: resets allocator state so that exactly the blocks in
+    /// `reachable` are considered live. Blocks below the new bump pointer
+    /// that are not reachable become free-list entries.
+    ///
+    /// `reachable` offsets must be valid block boundaries.
+    pub fn rebuild(&self, reachable: &[u64]) {
+        let mut max_end = self.start;
+        let mut live: Vec<u64> = reachable.to_vec();
+        live.sort_unstable();
+        for &off in &live {
+            assert!(off >= self.start && off + self.block_size <= self.end, "unreachable offset {off}");
+            assert_eq!((off - self.start) % self.block_size, 0, "misaligned block {off}");
+            max_end = max_end.max(off + self.block_size);
+        }
+        self.bump.store(max_end, Ordering::Relaxed);
+        let mut free = self.free.lock();
+        free.clear();
+        let mut it = live.iter().peekable();
+        let mut off = self.start;
+        while off < max_end {
+            match it.peek() {
+                Some(&&r) if r == off => {
+                    it.next();
+                }
+                _ => free.push(off),
+            }
+            off += self.block_size;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn alloc_returns_distinct_aligned_blocks() {
+        let a = BlockAllocator::new(1024, 1024 + 10 * 256, 256);
+        let mut seen = HashSet::new();
+        for _ in 0..10 {
+            let off = a.alloc().unwrap();
+            assert_eq!((off - 1024) % 256, 0);
+            assert!(seen.insert(off));
+        }
+        assert!(a.alloc().is_none(), "region exhausted");
+    }
+
+    #[test]
+    fn freed_blocks_are_reused() {
+        let a = BlockAllocator::new(0, 2 * 256, 256);
+        let x = a.alloc().unwrap();
+        let y = a.alloc().unwrap();
+        assert!(a.alloc().is_none());
+        a.free(x);
+        assert_eq!(a.alloc(), Some(x));
+        a.free(y);
+        a.free(x);
+        assert_eq!(a.live_blocks(), 0);
+    }
+
+    #[test]
+    fn rebuild_reconstructs_holes() {
+        let a = BlockAllocator::new(0, 8 * 128, 128);
+        let offs: Vec<u64> = (0..6).map(|_| a.alloc().unwrap()).collect();
+        // Pretend a crash: only blocks 0, 2, 5 are reachable.
+        a.rebuild(&[offs[0], offs[2], offs[5]]);
+        assert_eq!(a.live_blocks(), 3);
+        // Holes (1, 3, 4) must be re-allocatable, then fresh blocks (6, 7).
+        let mut recovered = HashSet::new();
+        while let Some(off) = a.alloc() {
+            assert!(recovered.insert(off));
+        }
+        assert_eq!(recovered.len(), 5); // 3 holes + 2 fresh
+        assert!(recovered.contains(&offs[1]));
+        assert!(recovered.contains(&offs[3]));
+        assert!(recovered.contains(&offs[4]));
+    }
+
+    #[test]
+    fn concurrent_alloc_hands_out_unique_blocks() {
+        use std::sync::Arc;
+        let a = Arc::new(BlockAllocator::new(0, 4096 * 64, 64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| a.alloc().unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for off in h.join().unwrap() {
+                assert!(all.insert(off), "duplicate block {off}");
+            }
+        }
+        assert_eq!(all.len(), 4000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn region_too_small_panics() {
+        let _ = BlockAllocator::new(0, 63, 64);
+    }
+}

@@ -1,0 +1,78 @@
+//! Raw 64-byte-aligned heap buffer underlying the arena and the durable
+//! image. Kept deliberately tiny: allocation, zeroing, and raw pointer
+//! access; all access policy lives in [`crate::pool`].
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+use crate::CACHE_LINE;
+
+/// An owned, zero-initialised, cache-line-aligned byte buffer.
+pub(crate) struct Buffer {
+    ptr: NonNull<u8>,
+    len: usize,
+    layout: Layout,
+}
+
+impl Buffer {
+    /// Allocates `len` zeroed bytes aligned to a cache line. `len` is rounded
+    /// up to a multiple of [`CACHE_LINE`].
+    pub(crate) fn zeroed(len: usize) -> Self {
+        assert!(len > 0, "pmem buffer must be non-empty");
+        let len = len.div_ceil(CACHE_LINE) * CACHE_LINE;
+        let layout = Layout::from_size_align(len, CACHE_LINE).expect("valid pmem layout");
+        // SAFETY: layout has non-zero size (asserted above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout)
+        };
+        Buffer { ptr, len, layout }
+    }
+
+    /// Buffer length in bytes (multiple of the cache-line size).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Raw base pointer. Callers are responsible for staying in bounds and
+    /// for synchronising conflicting accesses.
+    #[inline]
+    pub(crate) fn base(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        // SAFETY: allocated with exactly this layout in `zeroed`.
+        unsafe { dealloc(self.ptr.as_ptr(), self.layout) }
+    }
+}
+
+// SAFETY: the buffer is plain memory; all synchronisation of concurrent
+// access is enforced by the pool's accessors (atomics / stripe locks).
+unsafe impl Send for Buffer {}
+unsafe impl Sync for Buffer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_aligned_and_zero() {
+        let b = Buffer::zeroed(100);
+        assert_eq!(b.len() % CACHE_LINE, 0);
+        assert_eq!(b.base() as usize % CACHE_LINE, 0);
+        for i in 0..b.len() {
+            // SAFETY: in bounds, exclusive access.
+            assert_eq!(unsafe { *b.base().add(i) }, 0);
+        }
+    }
+
+    #[test]
+    fn len_rounds_up_to_line() {
+        assert_eq!(Buffer::zeroed(1).len(), CACHE_LINE);
+        assert_eq!(Buffer::zeroed(65).len(), 2 * CACHE_LINE);
+    }
+}

@@ -1,0 +1,97 @@
+//! Busy-wait latency model for NVM media access.
+//!
+//! The paper's interleaved NVDIMM sets measure 84 ns read / 140 ns write
+//! latency. Persist instructions stall the issuing core until data reaches
+//! the medium, so we model the stall with a calibrated busy-wait: the CPU
+//! time is genuinely consumed, which is what makes "flush while holding a
+//! lock" expensive in the concurrent experiments (Figures 8–10).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Spins for approximately `ns` nanoseconds. `ns == 0` returns immediately.
+///
+/// For very short waits the `Instant::now` overhead (tens of ns on Linux)
+/// would dominate, so waits below the calibrated clock overhead fall back to
+/// a calibrated `spin_loop` iteration count.
+#[inline]
+pub fn busy_wait_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let per_iter = spin_ns_per_iter();
+    if ns <= 4 * clock_overhead_ns() {
+        let iters = (ns as f64 / per_iter).ceil() as u64;
+        for _ in 0..iters.max(1) {
+            std::hint::spin_loop();
+        }
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+/// Calibrated cost of one `spin_loop` iteration, in nanoseconds.
+fn spin_ns_per_iter() -> f64 {
+    static CAL: OnceLock<f64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        let iters = 200_000u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::spin_loop();
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        (ns / iters as f64).max(0.1)
+    })
+}
+
+/// Calibrated cost of an `Instant::now` + `elapsed` pair, in nanoseconds.
+fn clock_overhead_ns() -> u64 {
+    static CAL: OnceLock<u64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        let iters = 20_000u32;
+        let start = Instant::now();
+        let mut acc = 0u128;
+        for _ in 0..iters {
+            acc = acc.wrapping_add(Instant::now().elapsed().as_nanos());
+        }
+        std::hint::black_box(acc);
+        ((start.elapsed().as_nanos() as u64) / iters as u64).max(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_wait_is_free() {
+        let start = Instant::now();
+        for _ in 0..1_000_000 {
+            busy_wait_ns(0);
+        }
+        // Generous bound: a million no-op calls should take well under 100 ms.
+        assert!(start.elapsed().as_millis() < 100);
+    }
+
+    #[test]
+    fn long_wait_reaches_target() {
+        let start = Instant::now();
+        busy_wait_ns(2_000_000); // 2 ms, far above clock overhead
+        assert!(start.elapsed().as_nanos() >= 2_000_000);
+    }
+
+    #[test]
+    fn short_wait_costs_something_but_not_everything() {
+        // 140 ns × 10_000 ≈ 1.4 ms of pure spin; allow a wide envelope for
+        // virtualised clocks but require it to be non-trivially > 0.
+        let start = Instant::now();
+        for _ in 0..10_000 {
+            busy_wait_ns(140);
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        assert!(elapsed > 100_000, "spin too cheap: {elapsed}ns");
+    }
+}

@@ -1,0 +1,119 @@
+//! # nvm — simulated byte-addressable persistent memory
+//!
+//! This crate is the persistent-memory substrate for the RNTree reproduction.
+//! The paper's testbed attaches NVDIMM-N modules to the memory bus and
+//! persists CPU-cache state with `CLWB` + `SFENCE`. We model that hardware
+//! with two buffers:
+//!
+//! * the **arena** — the working memory every load/store touches. It plays
+//!   the role of *the CPU cache hierarchy*: fast, transient, lost on a crash.
+//! * the **durable image** — updated only by [`PmemPool::persist`] (the
+//!   explicit flush+fence "persistent instruction") and by injected cache
+//!   evictions. It plays the role of *the NVM medium*: whatever is here
+//!   survives a crash.
+//!
+//! This split captures exactly the three properties every claim in the paper
+//! reduces to:
+//!
+//! 1. **How many persistent instructions** an operation issues — counted in
+//!    [`PmemStats`] and the basis of Table 1 / Figure 4.
+//! 2. **Where persists sit relative to critical sections** — persists spin
+//!    for a configurable NVM write latency (140 ns by default, the paper's
+//!    measured number), so holding a lock across a persist is visibly more
+//!    expensive than persisting outside it (Figures 8–10).
+//! 3. **Which stores are durable at a crash point** — un-persisted stores
+//!    die with the arena; [`PmemPool::evict_random_lines`] models the
+//!    *uncontrolled* cache evictions that force real NVM code to be correct
+//!    for any subset of dirty lines reaching the medium early.
+//!
+//! All persistence is cache-line (64 B) granular, like real hardware.
+//!
+//! ## Concurrency model
+//!
+//! The arena is shared mutable memory. All accesses that may race go through
+//! the atomic accessors ([`PmemPool::atomic_u64`], [`PmemPool::load_u64`],
+//! [`PmemPool::store_u64`]); [`PmemPool::persist`] snapshots lines with
+//! atomic word loads, so the simulator itself is data-race free. The typed
+//! volatile accessors are reserved for single-writer or quiesced phases
+//! (initialisation, recovery) and say so in their docs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nvm::{PmemConfig, PmemPool};
+//!
+//! let pool = PmemPool::new(PmemConfig::for_testing(1 << 20));
+//! let off = 4096;
+//! pool.store_u64(off, 0xfeed);
+//! // Not yet durable: a crash would lose it.
+//! assert_eq!(pool.read_durable_u64(off), 0);
+//! pool.persist(off, 8);
+//! assert_eq!(pool.read_durable_u64(off), 0xfeed);
+//! pool.simulate_crash();
+//! assert_eq!(pool.load_u64(off), 0xfeed);
+//! ```
+
+#![deny(missing_docs)]
+
+mod alloc;
+mod buffer;
+mod file;
+mod journal;
+mod latency;
+mod pool;
+mod rng;
+mod root;
+mod stats;
+
+pub use alloc::BlockAllocator;
+pub use journal::UndoJournal;
+pub use latency::busy_wait_ns;
+pub use pool::{PmemConfig, PmemPool};
+pub use rng::SplitMix64;
+pub use root::{RootTable, ROOT_SLOTS};
+pub use stats::{PmemStats, PmemStatsSnapshot};
+
+/// Cache-line size in bytes. All persistence is tracked at this granularity,
+/// matching the flush granularity of `CLWB`/`CLFLUSH` on x86.
+pub const CACHE_LINE: usize = 64;
+
+/// Returns the first byte offset of the cache line containing `off`.
+#[inline]
+pub const fn line_of(off: u64) -> u64 {
+    off & !(CACHE_LINE as u64 - 1)
+}
+
+/// Number of cache lines touched by the byte range `[off, off + len)`.
+#[inline]
+pub const fn lines_spanned(off: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = line_of(off);
+    let last = line_of(off + len - 1);
+    (last - first) / CACHE_LINE as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_rounds_down() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(130), 128);
+    }
+
+    #[test]
+    fn lines_spanned_counts_partial_lines() {
+        assert_eq!(lines_spanned(0, 0), 0);
+        assert_eq!(lines_spanned(0, 1), 1);
+        assert_eq!(lines_spanned(0, 64), 1);
+        assert_eq!(lines_spanned(0, 65), 2);
+        assert_eq!(lines_spanned(63, 2), 2);
+        assert_eq!(lines_spanned(60, 8), 2);
+        assert_eq!(lines_spanned(64, 128), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! The root table: a well-known cache line of durable root pointers.
+//!
+//! The paper stores "the pointer to the left-most leaf node … in a
+//! well-known static address for starting the recovery" (§5.4). We reserve
+//! the pool's first cache line as eight named `u64` root slots; writers
+//! persist the line after each update.
+
+use crate::{PmemPool, CACHE_LINE};
+
+/// Number of root slots in the root table.
+pub const ROOT_SLOTS: usize = 8;
+
+/// Accessor for the durable root-pointer table at pool offset 0.
+///
+/// Slot 0 is conventionally the leftmost-leaf offset; the remaining slots
+/// are free for per-structure metadata (journal region offset, etc.).
+#[derive(Debug, Clone, Copy)]
+pub struct RootTable;
+
+impl RootTable {
+    /// Byte offset of the first usable pool byte above the root table.
+    pub const END: u64 = CACHE_LINE as u64;
+
+    /// Reads root slot `idx`.
+    pub fn get(pool: &PmemPool, idx: usize) -> u64 {
+        assert!(idx < ROOT_SLOTS, "root slot out of range");
+        pool.load_u64_acquire((idx * 8) as u64)
+    }
+
+    /// Writes root slot `idx` and persists the root line (one persistent
+    /// instruction).
+    pub fn set(pool: &PmemPool, idx: usize, val: u64) {
+        assert!(idx < ROOT_SLOTS, "root slot out of range");
+        pool.store_u64_release((idx * 8) as u64, val);
+        pool.persist((idx * 8) as u64, 8);
+    }
+
+    /// Writes root slot `idx` without persisting (callers batching several
+    /// slot updates persist the line once themselves).
+    pub fn set_volatile(pool: &PmemPool, idx: usize, val: u64) {
+        assert!(idx < ROOT_SLOTS, "root slot out of range");
+        pool.store_u64_release((idx * 8) as u64, val);
+    }
+
+    /// Persists the whole root line.
+    pub fn persist(pool: &PmemPool) {
+        pool.persist(0, CACHE_LINE as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PmemConfig;
+
+    #[test]
+    fn roots_survive_crash() {
+        let pool = PmemPool::new(PmemConfig::for_testing(1 << 12));
+        RootTable::set(&pool, 0, 4096);
+        RootTable::set(&pool, 3, 77);
+        pool.simulate_crash();
+        assert_eq!(RootTable::get(&pool, 0), 4096);
+        assert_eq!(RootTable::get(&pool, 3), 77);
+        assert_eq!(RootTable::get(&pool, 1), 0);
+    }
+
+    #[test]
+    fn volatile_set_needs_explicit_persist() {
+        let pool = PmemPool::new(PmemConfig::for_testing(1 << 12));
+        RootTable::set_volatile(&pool, 2, 9);
+        pool.simulate_crash();
+        assert_eq!(RootTable::get(&pool, 2), 0);
+        RootTable::set_volatile(&pool, 2, 9);
+        RootTable::persist(&pool);
+        pool.simulate_crash();
+        assert_eq!(RootTable::get(&pool, 2), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "root slot")]
+    fn out_of_range_slot_panics() {
+        let pool = PmemPool::new(PmemConfig::for_testing(1 << 12));
+        RootTable::get(&pool, ROOT_SLOTS);
+    }
+}

@@ -1,0 +1,100 @@
+//! Persistence-instruction accounting.
+//!
+//! The paper's Table 1 characterises every tree by the number of *persistent
+//! instructions* (a cache-line flush followed by a fence) each modify
+//! operation issues, and its Figure 4 analysis attributes single-thread
+//! throughput differences almost entirely to this count. These counters make
+//! that number directly observable in benchmarks and enforceable in tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live (atomic) persistence counters attached to a [`crate::PmemPool`].
+#[derive(Debug, Default)]
+pub struct PmemStats {
+    /// Compound persistent instructions (`persist` calls = CLWB…CLWB+SFENCE).
+    pub persists: AtomicU64,
+    /// Individual cache-line flushes (CLWBs) issued by those persists.
+    pub lines_flushed: AtomicU64,
+    /// Memory fences issued (one per `persist` call).
+    pub fences: AtomicU64,
+    /// Cache lines copied to the durable image by eviction injection.
+    pub lines_evicted: AtomicU64,
+    /// Simulated crashes executed on this pool.
+    pub crashes: AtomicU64,
+}
+
+impl PmemStats {
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> PmemStatsSnapshot {
+        PmemStatsSnapshot {
+            persists: self.persists.load(Ordering::Relaxed),
+            lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            lines_evicted: self.lines_evicted.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero. Intended for benchmark phase boundaries.
+    pub fn reset(&self) {
+        self.persists.store(0, Ordering::Relaxed);
+        self.lines_flushed.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.lines_evicted.store(0, Ordering::Relaxed);
+        self.crashes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of [`PmemStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PmemStatsSnapshot {
+    /// Compound persistent instructions.
+    pub persists: u64,
+    /// Individual cache-line flushes.
+    pub lines_flushed: u64,
+    /// Memory fences.
+    pub fences: u64,
+    /// Evicted lines.
+    pub lines_evicted: u64,
+    /// Simulated crashes.
+    pub crashes: u64,
+}
+
+impl PmemStatsSnapshot {
+    /// Counter deltas `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &PmemStatsSnapshot) -> PmemStatsSnapshot {
+        PmemStatsSnapshot {
+            persists: self.persists.saturating_sub(earlier.persists),
+            lines_flushed: self.lines_flushed.saturating_sub(earlier.lines_flushed),
+            fences: self.fences.saturating_sub(earlier.fences),
+            lines_evicted: self.lines_evicted.saturating_sub(earlier.lines_evicted),
+            crashes: self.crashes.saturating_sub(earlier.crashes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let s = PmemStats::default();
+        s.persists.fetch_add(5, Ordering::Relaxed);
+        s.lines_flushed.fetch_add(7, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.persists.fetch_add(2, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.persists, 2);
+        assert_eq!(d.lines_flushed, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = PmemStats::default();
+        s.fences.fetch_add(3, Ordering::Relaxed);
+        s.reset();
+        assert_eq!(s.snapshot(), PmemStatsSnapshot::default());
+    }
+}

@@ -1,0 +1,76 @@
+//! Persistent leaf-node layout (paper Figure 1, extended with the dual
+//! slot array and a fence key).
+//!
+//! Each leaf is one fixed 1280-byte block (20 cache lines):
+//!
+//! ```text
+//! line 0   header: lockver | nlogs | plogs | next | fence | (reserved)
+//! line 1   persistent slot array  (count byte + 63 entry indices)
+//! line 2   transient slot array   (semantically DRAM; rebuilt on recovery)
+//! line 3+  64 KV log entries × 16 B (key u64, value u64), line-aligned
+//! ```
+//!
+//! Crash-consistent state is exactly: the slot array line and the KV
+//! entries it references, plus `next` and `fence` (which only change inside
+//! the journaled split). `lockver`, `nlogs`, `plogs` and the transient slot
+//! array are scratch that recovery recomputes (paper §5.4).
+
+/// Log entries per leaf (paper's best-performing leaf size, §6.2).
+pub const LEAF_CAPACITY: usize = 64;
+
+/// Maximum live (slot-array-referenced) entries: the slot array has one
+/// count byte, leaving 63 index bytes.
+pub const MAX_LIVE: usize = 63;
+
+/// Leaf block size in bytes (multiple of the cache line): one header line,
+/// two slot-array lines, and 16 lines of KV log entries.
+pub const LEAF_BLOCK: u64 = 1216;
+
+/// Byte offsets of leaf fields within the block.
+pub mod field {
+    /// Combined lock/splitting/version word (paper Figure 2).
+    pub const LOCKVER: u64 = 0;
+    // (Offset 8 is reserved; the allocation counter lives inside the
+    // lock/version word — see `version.rs` for why.)
+    /// Number of log entries whose fate was decided under the leaf lock.
+    pub const PLOGS: u64 = 16;
+    /// Pool offset of the next leaf (0 = none).
+    pub const NEXT: u64 = 24;
+    /// Inclusive upper bound of this leaf's key range (`u64::MAX` for the
+    /// rightmost leaf). Only changes inside the journaled split.
+    pub const FENCE: u64 = 32;
+    /// Persistent slot array (one cache line).
+    pub const PSLOT: u64 = 64;
+    /// Transient slot array (one cache line; dual-slot design).
+    pub const TSLOT: u64 = 128;
+    /// First KV log entry.
+    pub const KV: u64 = 192;
+}
+
+/// Byte offset of log entry `i`'s key within the leaf block.
+#[inline]
+pub const fn kv_off(i: usize) -> u64 {
+    field::KV + (i as u64) * 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_line_aligned_and_fits() {
+        assert_eq!(LEAF_BLOCK % 64, 0);
+        assert_eq!(field::PSLOT % 64, 0);
+        assert_eq!(field::TSLOT % 64, 0);
+        assert_eq!(field::KV % 64, 0);
+        assert_eq!(kv_off(LEAF_CAPACITY - 1) + 16, LEAF_BLOCK);
+    }
+
+    #[test]
+    fn kv_entries_never_straddle_lines() {
+        for i in 0..LEAF_CAPACITY {
+            let start = kv_off(i);
+            assert_eq!(start / 64, (start + 15) / 64, "entry {i} straddles");
+        }
+    }
+}

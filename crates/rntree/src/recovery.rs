@@ -1,0 +1,426 @@
+//! Construction and recovery (paper §5.4).
+//!
+//! Internal nodes are volatile, so any (re)start rebuilds them from the
+//! persistent leaf chain, whose head lives at a well-known root slot. Two
+//! paths exist, matching the paper's Figure 7 distinction:
+//!
+//! * **Reconstruction** ([`RnTree::reopen_clean`]) after a clean shutdown:
+//!   leaf headers (`nlogs`, `plogs`) were persisted by [`RnTree::close`],
+//!   so the scan only reads each leaf's slot count and maximum key.
+//! * **Crash recovery** ([`RnTree::recover`]): first replay the split undo
+//!   journal, then scan the chain resetting the non-crash-consistent
+//!   scratch per leaf — lock word cleared, `nlogs`/`plogs` recomputed from
+//!   the slot array ("scan the slot array to find the max index of log
+//!   entries"), transient slot array rebuilt from the persistent one.
+//!
+//! Both paths end by bulk-building the internal levels from the
+//! `(max key, leaf)` pairs and rebuilding the block allocator's free list
+//! from the set of chain-reachable blocks.
+
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Arc;
+
+use index_common::{leaf_ref, InnerIndex, Key};
+use nvm::{PmemPool, RootTable};
+
+use crate::layout::LEAF_CAPACITY;
+use crate::leaf::{Leaf, WhichSlot};
+use crate::tree::{roots, RnConfig, RnTree, MAGIC};
+
+impl RnTree {
+    /// Formats `pool` with a fresh, empty RNTree.
+    pub fn create(pool: Arc<PmemPool>, cfg: RnConfig) -> RnTree {
+        let (alloc, journal) = Self::make_parts(&pool, &cfg);
+        journal.format(&pool);
+
+        let first = alloc.alloc().expect("pool too small for one leaf");
+        Leaf::at(&pool, first).init_empty(u64::MAX, 0);
+
+        RootTable::set_volatile(&pool, roots::LEFTMOST, first);
+        RootTable::set_volatile(&pool, roots::MAGIC, MAGIC);
+        RootTable::set_volatile(&pool, roots::JOURNAL_SLOTS, cfg.journal_slots as u64);
+        RootTable::set_volatile(&pool, roots::LEAF_REGION, Self::leaf_region_start(&cfg));
+        RootTable::set_volatile(&pool, roots::CLEAN, 0);
+        RootTable::persist(&pool);
+
+        let index = InnerIndex::new(leaf_ref(first));
+        RnTree {
+            pool,
+            alloc,
+            index,
+            journal,
+            cfg,
+            leftmost: first,
+            splits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            wasted: AtomicU64::new(0),
+            pool_exhausted: AtomicBool::new(false),
+        }
+    }
+
+    fn check_magic(pool: &PmemPool, cfg: &RnConfig) {
+        assert_eq!(RootTable::get(pool, roots::MAGIC), MAGIC, "pool is not an RNTree");
+        assert_eq!(
+            RootTable::get(pool, roots::JOURNAL_SLOTS),
+            cfg.journal_slots as u64,
+            "journal_slots mismatch with on-pool layout"
+        );
+    }
+
+    /// Crash recovery: journal replay + full per-leaf scratch reset +
+    /// index and allocator rebuild.
+    pub fn recover(pool: Arc<PmemPool>, cfg: RnConfig) -> RnTree {
+        Self::check_magic(&pool, &cfg);
+        let (alloc, journal) = Self::make_parts(&pool, &cfg);
+        journal.recover(&pool);
+
+        let leftmost = RootTable::get(&pool, roots::LEFTMOST);
+        let mut reachable = Vec::new();
+        let mut pairs: Vec<(Key, u64)> = Vec::new();
+        let mut off = leftmost;
+        while off != 0 {
+            reachable.push(off);
+            let leaf = Leaf::at(&pool, off);
+            leaf.reset_lockver();
+            let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+            // nlogs := max referenced log index + 1 (paper §6.2.6). Entries
+            // above it were never acknowledged and are safely reusable.
+            let nlogs = slot.iter().map(|e| e as u64 + 1).max().unwrap_or(0);
+            debug_assert!(nlogs <= LEAF_CAPACITY as u64);
+            leaf.set_nlogs(nlogs);
+            leaf.set_plogs(nlogs);
+            leaf.write_slot_seq(WhichSlot::Transient, &slot);
+            if !slot.is_empty() {
+                let max_key = leaf.read_key(slot.entry(slot.len() - 1));
+                pairs.push((max_key, leaf_ref(off)));
+            }
+            off = leaf.next();
+        }
+        alloc.rebuild(&reachable);
+        RootTable::set(&pool, roots::CLEAN, 0);
+
+        let index = InnerIndex::new(leaf_ref(leftmost));
+        if !pairs.is_empty() {
+            index.bulk_build(&pairs);
+        }
+        RnTree {
+            pool,
+            alloc,
+            index,
+            journal,
+            cfg,
+            leftmost,
+            splits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            wasted: AtomicU64::new(0),
+            pool_exhausted: AtomicBool::new(false),
+        }
+    }
+
+    /// Reconstruction after a clean shutdown ([`RnTree::close`]): trusts
+    /// the persisted leaf headers and only rebuilds the volatile levels.
+    ///
+    /// # Panics
+    /// Panics if the pool was not closed cleanly (use [`RnTree::recover`]).
+    pub fn reopen_clean(pool: Arc<PmemPool>, cfg: RnConfig) -> RnTree {
+        Self::check_magic(&pool, &cfg);
+        assert_eq!(
+            RootTable::get(&pool, roots::CLEAN),
+            1,
+            "pool not cleanly closed; use RnTree::recover"
+        );
+        let (alloc, journal) = Self::make_parts(&pool, &cfg);
+
+        let leftmost = RootTable::get(&pool, roots::LEFTMOST);
+        let mut reachable = Vec::new();
+        let mut pairs: Vec<(Key, u64)> = Vec::new();
+        let mut off = leftmost;
+        while off != 0 {
+            reachable.push(off);
+            let leaf = Leaf::at(&pool, off);
+            let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+            leaf.write_slot_seq(WhichSlot::Transient, &slot);
+            if !slot.is_empty() {
+                let max_key = leaf.read_key(slot.entry(slot.len() - 1));
+                pairs.push((max_key, leaf_ref(off)));
+            }
+            off = leaf.next();
+        }
+        alloc.rebuild(&reachable);
+        RootTable::set(&pool, roots::CLEAN, 0);
+
+        let index = InnerIndex::new(leaf_ref(leftmost));
+        if !pairs.is_empty() {
+            index.bulk_build(&pairs);
+        }
+        RnTree {
+            pool,
+            alloc,
+            index,
+            journal,
+            cfg,
+            leftmost,
+            splits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            wasted: AtomicU64::new(0),
+            pool_exhausted: AtomicBool::new(false),
+        }
+    }
+
+    /// Clean shutdown: persists every leaf's header line (making `nlogs`,
+    /// `plogs` trustworthy) and sets the clean flag. The tree must be
+    /// quiescent.
+    pub fn close(&self) {
+        let mut off = self.leftmost;
+        while off != 0 {
+            let leaf = Leaf::at(&self.pool, off);
+            leaf.persist_header();
+            off = leaf.next();
+        }
+        RootTable::set(&self.pool, roots::CLEAN, 1);
+    }
+
+    /// Offset of the leftmost leaf (diagnostics/benchmarks).
+    pub fn leftmost(&self) -> u64 {
+        self.leftmost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use index_common::PersistentIndex;
+    use nvm::PmemConfig;
+
+    fn new_pool(bytes: usize) -> Arc<PmemPool> {
+        Arc::new(PmemPool::new(PmemConfig::for_testing(bytes)))
+    }
+
+    fn cfg() -> RnConfig {
+        RnConfig {
+            journal_slots: 4,
+            ..RnConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_insert_find() {
+        let tree = RnTree::create(new_pool(1 << 22), cfg());
+        for k in (1..=500u64).rev() {
+            tree.insert(k, k * 2).unwrap();
+        }
+        for k in 1..=500u64 {
+            assert_eq!(tree.find(k), Some(k * 2), "key {k}");
+        }
+        assert_eq!(tree.find(0), None);
+        assert_eq!(tree.find(501), None);
+        tree.verify_invariants().unwrap();
+        assert!(tree.rn_stats().splits > 0, "500 keys must split 63-cap leaves");
+    }
+
+    #[test]
+    fn conditional_write_semantics() {
+        let tree = RnTree::create(new_pool(1 << 22), cfg());
+        tree.insert(5, 50).unwrap();
+        assert_eq!(tree.insert(5, 51), Err(index_common::OpError::AlreadyExists));
+        assert_eq!(tree.find(5), Some(50), "failed insert must not change data");
+        assert_eq!(tree.update(6, 60), Err(index_common::OpError::NotFound));
+        tree.update(5, 55).unwrap();
+        assert_eq!(tree.find(5), Some(55));
+        tree.upsert(6, 66).unwrap();
+        tree.upsert(6, 67).unwrap();
+        assert_eq!(tree.find(6), Some(67));
+        assert_eq!(tree.remove(7), Err(index_common::OpError::NotFound));
+        tree.remove(6).unwrap();
+        assert_eq!(tree.find(6), None);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_churn_triggers_compaction() {
+        let tree = RnTree::create(new_pool(1 << 22), cfg());
+        for k in 1..=10u64 {
+            tree.insert(k, 0).unwrap();
+        }
+        // 10 live keys, hundreds of updates: log areas must recycle.
+        for round in 1..=60u64 {
+            for k in 1..=10u64 {
+                tree.update(k, round * 100 + k).unwrap();
+            }
+        }
+        for k in 1..=10u64 {
+            assert_eq!(tree.find(k), Some(6000 + k));
+        }
+        assert!(tree.rn_stats().compactions > 0, "expected compactions");
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let tree = RnTree::create(new_pool(1 << 22), cfg());
+        for k in 1..=200u64 {
+            tree.insert(k, k).unwrap();
+        }
+        for k in (1..=200u64).step_by(2) {
+            tree.remove(k).unwrap();
+        }
+        for k in 1..=200u64 {
+            assert_eq!(tree.find(k), (k % 2 == 0).then_some(k), "key {k}");
+        }
+        for k in (1..=200u64).step_by(2) {
+            tree.insert(k, k + 1).unwrap();
+        }
+        for k in (1..=200u64).step_by(2) {
+            assert_eq!(tree.find(k), Some(k + 1));
+        }
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn scan_returns_sorted_ranges() {
+        let tree = RnTree::create(new_pool(1 << 22), cfg());
+        for k in 1..=300u64 {
+            tree.insert(k * 2, k).unwrap(); // even keys 2..600
+        }
+        let mut out = Vec::new();
+        assert_eq!(tree.scan_n(100, 10, &mut out), 10);
+        let keys: Vec<u64> = out.iter().map(|kv| kv.0).collect();
+        assert_eq!(keys, (50..60).map(|i| i * 2).collect::<Vec<_>>());
+        // Start between keys.
+        assert_eq!(tree.scan_n(101, 3, &mut out), 3);
+        assert_eq!(out[0].0, 102);
+        // Run off the end.
+        assert_eq!(tree.scan_n(595, 100, &mut out), 3);
+        assert_eq!(out.last().unwrap().0, 600);
+        // Empty range.
+        assert_eq!(tree.scan_n(601, 5, &mut out), 0);
+    }
+
+    #[test]
+    fn crash_without_persist_loses_nothing_acknowledged() {
+        let pool = new_pool(1 << 22);
+        let tree = RnTree::create(Arc::clone(&pool), cfg());
+        for k in 1..=300u64 {
+            tree.insert(k, k * 7).unwrap();
+        }
+        drop(tree);
+        pool.simulate_crash();
+        let tree = RnTree::recover(Arc::clone(&pool), cfg());
+        for k in 1..=300u64 {
+            assert_eq!(tree.find(k), Some(k * 7), "key {k} lost in crash");
+        }
+        tree.verify_invariants().unwrap();
+        // The recovered tree is fully writable.
+        for k in 301..=400u64 {
+            tree.insert(k, k).unwrap();
+        }
+        assert_eq!(tree.find(400), Some(400));
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn clean_close_and_reopen() {
+        let pool = new_pool(1 << 22);
+        let tree = RnTree::create(Arc::clone(&pool), cfg());
+        for k in 1..=300u64 {
+            tree.insert(k, k + 1).unwrap();
+        }
+        tree.close();
+        drop(tree);
+        pool.simulate_crash(); // even a crash after close is fine
+        let tree = RnTree::reopen_clean(Arc::clone(&pool), cfg());
+        for k in 1..=300u64 {
+            assert_eq!(tree.find(k), Some(k + 1));
+        }
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not cleanly closed")]
+    fn reopen_clean_rejects_dirty_pool() {
+        let pool = new_pool(1 << 22);
+        let tree = RnTree::create(Arc::clone(&pool), cfg());
+        tree.insert(1, 1).unwrap();
+        drop(tree);
+        pool.simulate_crash();
+        let _ = RnTree::reopen_clean(pool, cfg());
+    }
+
+    #[test]
+    fn recovery_resets_scratch_counters() {
+        let pool = new_pool(1 << 22);
+        let tree = RnTree::create(Arc::clone(&pool), cfg());
+        for k in 1..=50u64 {
+            tree.insert(k, k).unwrap();
+        }
+        let leftmost = tree.leftmost();
+        drop(tree);
+        pool.simulate_crash();
+        let tree = RnTree::recover(Arc::clone(&pool), cfg());
+        let leaf = crate::leaf::Leaf::at(&pool, leftmost);
+        let slot = leaf.read_slot_seq(crate::leaf::WhichSlot::Persistent);
+        assert_eq!(leaf.nlogs(), slot.iter().map(|e| e as u64 + 1).max().unwrap());
+        assert_eq!(leaf.nlogs(), leaf.plogs());
+        let _ = tree;
+    }
+
+    #[test]
+    fn dual_and_single_slot_variants_agree() {
+        for dual in [true, false] {
+            let c = RnConfig {
+                dual_slot: dual,
+                ..cfg()
+            };
+            let tree = RnTree::create(new_pool(1 << 22), c);
+            for k in 1..=400u64 {
+                tree.insert(k, k * 3).unwrap();
+            }
+            for k in (1..=400u64).step_by(3) {
+                tree.remove(k).unwrap();
+            }
+            for k in 1..=400u64 {
+                let expect = ((k - 1) % 3 != 0).then_some(k * 3);
+                assert_eq!(tree.find(k), expect, "dual={dual} key={k}");
+            }
+            tree.verify_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn seq_traversal_mode_matches_tm_mode() {
+        let c = RnConfig {
+            seq_traversal: true,
+            ..cfg()
+        };
+        let tree = RnTree::create(new_pool(1 << 22), c);
+        for k in 1..=500u64 {
+            tree.insert(k, k).unwrap();
+        }
+        for k in 1..=500u64 {
+            assert_eq!(tree.find(k), Some(k));
+        }
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_injection_cannot_corrupt_recovery() {
+        let pool = new_pool(1 << 22);
+        let tree = RnTree::create(Arc::clone(&pool), cfg());
+        for k in 1..=300u64 {
+            tree.insert(k, k).unwrap();
+            if k % 7 == 0 {
+                pool.evict_random_lines(8);
+            }
+        }
+        drop(tree);
+        pool.simulate_crash();
+        let tree = RnTree::recover(pool, cfg());
+        for k in 1..=300u64 {
+            assert_eq!(tree.find(k), Some(k));
+        }
+        tree.verify_invariants().unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! Structural introspection: space accounting and fill statistics.
+//!
+//! Useful for capacity planning (how big must the pool be?) and for
+//! observing the log-churn dynamics the paper describes (§5.2.3):
+//! obsolete log entries accumulate between compactions, so the *log fill*
+//! is always ≥ the *live fill*.
+
+use crate::layout::{LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
+use crate::leaf::{Leaf, WhichSlot};
+use crate::tree::RnTree;
+
+/// A point-in-time space/structure report. Produce with
+/// [`RnTree::space_report`] on a quiescent tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceReport {
+    /// Leaves in the chain.
+    pub leaves: u64,
+    /// Live key-value pairs.
+    pub live_entries: u64,
+    /// Log entries allocated (live + obsolete + wasted).
+    pub allocated_entries: u64,
+    /// Bytes of pool space occupied by leaf blocks.
+    pub leaf_bytes: u64,
+    /// Mean live entries per leaf (0 when empty).
+    pub mean_live_fill: f64,
+    /// Mean allocated log entries per leaf.
+    pub mean_log_fill: f64,
+    /// Leaves with zero live entries (drained ranges awaiting reuse).
+    pub empty_leaves: u64,
+    /// Histogram of live fill in eighths of `MAX_LIVE` (index 0 = 0–12.5%,
+    /// …, index 7 = 87.5–100%).
+    pub fill_histogram: [u64; 8],
+    /// Depth of the volatile index (1 = root is a leaf).
+    pub index_depth: usize,
+}
+
+impl SpaceReport {
+    /// Live bytes (16 B per live pair) / leaf bytes: the space efficiency.
+    pub fn utilization(&self) -> f64 {
+        if self.leaf_bytes == 0 {
+            0.0
+        } else {
+            (self.live_entries * 16) as f64 / self.leaf_bytes as f64
+        }
+    }
+}
+
+impl RnTree {
+    /// Walks the leaf chain and produces a [`SpaceReport`]. Quiescent
+    /// phases only (uses sequential reads).
+    pub fn space_report(&self) -> SpaceReport {
+        let mut r = SpaceReport {
+            leaves: 0,
+            live_entries: 0,
+            allocated_entries: 0,
+            leaf_bytes: 0,
+            mean_live_fill: 0.0,
+            mean_log_fill: 0.0,
+            empty_leaves: 0,
+            fill_histogram: [0; 8],
+            index_depth: self.index.depth(),
+        };
+        let mut off = self.leftmost;
+        while off != 0 {
+            let leaf = Leaf::at(&self.pool, off);
+            let live = leaf.read_slot_seq(WhichSlot::Persistent).len() as u64;
+            r.leaves += 1;
+            r.live_entries += live;
+            r.allocated_entries += leaf.nlogs();
+            r.leaf_bytes += LEAF_BLOCK;
+            if live == 0 {
+                r.empty_leaves += 1;
+            }
+            let bucket = ((live as usize * 8) / (MAX_LIVE + 1)).min(7);
+            r.fill_histogram[bucket] += 1;
+            off = leaf.next();
+        }
+        if r.leaves > 0 {
+            r.mean_live_fill = r.live_entries as f64 / r.leaves as f64;
+            r.mean_log_fill = r.allocated_entries as f64 / r.leaves as f64;
+        }
+        debug_assert!(r.allocated_entries <= r.leaves * LEAF_CAPACITY as u64);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RnConfig;
+    use index_common::PersistentIndex;
+    use nvm::{PmemConfig, PmemPool};
+    use std::sync::Arc;
+
+    fn tree() -> RnTree {
+        let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 23)));
+        RnTree::create(pool, RnConfig::default())
+    }
+
+    #[test]
+    fn empty_tree_report() {
+        let t = tree();
+        let r = t.space_report();
+        assert_eq!(r.leaves, 1);
+        assert_eq!(r.live_entries, 0);
+        assert_eq!(r.empty_leaves, 1);
+        assert_eq!(r.index_depth, 1);
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn fill_statistics_track_inserts() {
+        let t = tree();
+        for k in 1..=5_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let r = t.space_report();
+        assert_eq!(r.live_entries, 5_000);
+        assert!(r.leaves >= 5_000 / 63);
+        assert!(r.mean_live_fill > 20.0, "fill {}", r.mean_live_fill);
+        assert!(r.index_depth >= 2);
+        assert!(r.utilization() > 0.2, "util {}", r.utilization());
+        assert_eq!(r.fill_histogram.iter().sum::<u64>(), r.leaves);
+        assert!(r.allocated_entries >= r.live_entries);
+    }
+
+    #[test]
+    fn churn_inflates_log_fill_until_compaction() {
+        let t = tree();
+        for k in 1..=30u64 {
+            t.insert(k, 0).unwrap();
+        }
+        for round in 1..=10u64 {
+            for k in 1..=30u64 {
+                t.update(k, round).unwrap();
+            }
+        }
+        let r = t.space_report();
+        assert_eq!(r.live_entries, 30);
+        // Updates consume log entries beyond the live count.
+        assert!(
+            r.allocated_entries > r.live_entries,
+            "log fill {} vs live {}",
+            r.allocated_entries,
+            r.live_entries
+        );
+    }
+
+    #[test]
+    fn drained_ranges_show_as_empty_leaves() {
+        let t = tree();
+        for k in 1..=1_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 300..=700u64 {
+            t.remove(k).unwrap();
+        }
+        let r = t.space_report();
+        assert!(r.empty_leaves > 0);
+        assert_eq!(r.live_entries, 1_000 - 401);
+    }
+}

@@ -1,0 +1,183 @@
+//! [`SlotBuf`]: an in-register copy of the 64-byte slot array.
+//!
+//! Byte 0 holds the live-entry count; bytes `1..=count` hold log-entry
+//! indices in ascending key order (paper Figure 1). A `SlotBuf` is read
+//! from / written to the leaf's slot-array cache line as eight
+//! transactional words; all the sorted-order editing happens on this plain
+//! copy, keeping HTM read/write sets minimal.
+
+use crate::layout::MAX_LIVE;
+
+/// A decoded slot array: count + ordered entry indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotBuf(pub [u8; 64]);
+
+impl Default for SlotBuf {
+    fn default() -> Self {
+        SlotBuf([0u8; 64])
+    }
+}
+
+impl SlotBuf {
+    /// Empty slot array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes from eight 64-bit words (little-endian), as read from the
+    /// slot-array cache line.
+    pub fn from_words(words: [u64; 8]) -> Self {
+        let mut b = [0u8; 64];
+        for (i, w) in words.iter().enumerate() {
+            b[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        SlotBuf(b)
+    }
+
+    /// Encodes into eight 64-bit words for transactional write-back.
+    pub fn to_words(&self) -> [u64; 8] {
+        std::array::from_fn(|i| u64::from_le_bytes(self.0[i * 8..(i + 1) * 8].try_into().unwrap()))
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0[0] as usize
+    }
+
+    /// True when no entry is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Log-entry index stored at sorted position `pos`.
+    #[inline]
+    pub fn entry(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.len());
+        self.0[1 + pos] as usize
+    }
+
+    /// Overwrites the log-entry index at sorted position `pos` (update
+    /// in place: the key keeps its position, the data moves to a new log).
+    #[inline]
+    pub fn set_entry(&mut self, pos: usize, entry: usize) {
+        debug_assert!(pos < self.len() && entry < crate::layout::LEAF_CAPACITY);
+        self.0[1 + pos] = entry as u8;
+    }
+
+    /// Inserts log-entry index `entry` at sorted position `pos`, shifting
+    /// later positions right.
+    ///
+    /// # Panics
+    /// Panics if the slot array is full (callers split before that).
+    pub fn insert_at(&mut self, pos: usize, entry: usize) {
+        let n = self.len();
+        assert!(n < MAX_LIVE, "slot array overflow");
+        assert!(pos <= n && entry < crate::layout::LEAF_CAPACITY);
+        self.0.copy_within(1 + pos..1 + n, 1 + pos + 1);
+        self.0[1 + pos] = entry as u8;
+        self.0[0] = (n + 1) as u8;
+    }
+
+    /// Removes the entry at sorted position `pos`, shifting later positions
+    /// left.
+    pub fn remove_at(&mut self, pos: usize) {
+        let n = self.len();
+        assert!(pos < n);
+        self.0.copy_within(1 + pos + 1..1 + n, 1 + pos);
+        self.0[0] = (n - 1) as u8;
+    }
+
+    /// Iterates the live log-entry indices in key order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).map(move |p| self.entry(p))
+    }
+
+    /// Builds the identity slot array `0, 1, …, n-1` (used after
+    /// split/compaction rewrites entries densely in key order).
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= MAX_LIVE);
+        let mut s = SlotBuf::new();
+        s.0[0] = n as u8;
+        for i in 0..n {
+            s.0[1 + i] = i as u8;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_roundtrip() {
+        let mut s = SlotBuf::new();
+        s.insert_at(0, 5);
+        s.insert_at(1, 9);
+        s.insert_at(0, 2);
+        let t = SlotBuf::from_words(s.to_words());
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn insert_keeps_order_and_count() {
+        let mut s = SlotBuf::new();
+        s.insert_at(0, 10);
+        s.insert_at(0, 20);
+        s.insert_at(2, 30);
+        s.insert_at(1, 40);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![20, 40, 10, 30]);
+    }
+
+    #[test]
+    fn remove_shifts_left() {
+        let mut s = SlotBuf::identity(5);
+        s.remove_at(1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 3, 4]);
+        s.remove_at(3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 3]);
+        s.remove_at(0);
+        s.remove_at(0);
+        s.remove_at(0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_entry_replaces_in_place() {
+        let mut s = SlotBuf::identity(3);
+        s.set_entry(1, 9);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 9, 2]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn identity_shape() {
+        let s = SlotBuf::identity(MAX_LIVE);
+        assert_eq!(s.len(), MAX_LIVE);
+        assert_eq!(s.entry(MAX_LIVE - 1), MAX_LIVE - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut s = SlotBuf::identity(MAX_LIVE);
+        s.insert_at(0, 63);
+    }
+
+    #[test]
+    fn full_cycle_insert_all_positions() {
+        // Insert 63 entries at alternating front/back positions and verify
+        // count and contents survive a words roundtrip.
+        let mut s = SlotBuf::new();
+        for i in 0..MAX_LIVE {
+            let pos = if i % 2 == 0 { 0 } else { s.len() };
+            s.insert_at(pos, i);
+        }
+        assert_eq!(s.len(), MAX_LIVE);
+        let t = SlotBuf::from_words(s.to_words());
+        assert_eq!(t.iter().count(), MAX_LIVE);
+    }
+}

@@ -1,0 +1,759 @@
+//! The RNTree itself: modify/find/scan operations (paper Algorithms 1–4),
+//! split and compaction, and the concurrency protocol.
+//!
+//! ## Protocol summary (and one strengthening over the paper's pseudocode)
+//!
+//! A modify operation (Algorithm 1) is: traverse → lock-free log-entry
+//! allocation (CAS on `nlogs`) → write KV → **flush KV outside any lock** →
+//! take the leaf spin lock → `htmLeafUpdate` (slot array, in a transaction)
+//! → flush slot line → `htmLeafCopySlot` (dual-slot) → `plogs++` → maybe
+//! split → unlock.
+//!
+//! The paper's Algorithm 1 splits as soon as `plogs == capacity-1`. We add
+//! the guard `nlogs == plogs` — *split only when every allocated log entry
+//! has been decided*. Without it, a slow writer that allocated an entry and
+//! is still writing its KV bytes could race the split's compaction of the
+//! KV area. With it, splits run on a quiescent log area, which also makes
+//! allocated entries never stale: no split can complete between a
+//! writer's allocation and its decision, so writers need no epoch
+//! re-validation — only the fence-key coverage check. Deferred splits are
+//! picked up by whichever writer decides the last in-flight entry (or by
+//! the allocation-failure path when the log area is exhausted).
+//!
+//! Every allocated entry is eventually *decided* exactly once under the
+//! lock — applied, rejected by a conditional write, rejected by a full slot
+//! array, or abandoned by the fence check — and `plogs` counts decisions,
+//! so the split trigger cannot starve.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use htm::HtmStatsSnapshot;
+use index_common::{leaf_ref, InnerIndex, Key, OpError, PersistentIndex, TreeStats, Value};
+use nvm::{BlockAllocator, PmemPool, RootTable};
+
+use crate::journal::SplitJournal;
+use crate::layout::{LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
+use crate::leaf::{Leaf, WhichSlot};
+use crate::slots::SlotBuf;
+
+/// Pool magic identifying an RNTree layout.
+pub(crate) const MAGIC: u64 = 0x524E_5452_4545_0001;
+
+/// Root-table slot assignments.
+pub(crate) mod roots {
+    /// Offset of the leftmost leaf (recovery entry point, §5.4).
+    pub const LEFTMOST: usize = 0;
+    /// Layout magic.
+    pub const MAGIC: usize = 1;
+    /// Number of split-journal slots.
+    pub const JOURNAL_SLOTS: usize = 2;
+    /// First byte of the leaf block region.
+    pub const LEAF_REGION: usize = 3;
+    /// Clean-shutdown flag (1 after `close`).
+    pub const CLEAN: usize = 4;
+}
+
+/// RNTree construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct RnConfig {
+    /// Enable the dual slot array (§4.4). On: readers snapshot the
+    /// transient slot array and the leaf version changes only on splits.
+    /// Off: readers snapshot the persistent slot array seqlock-style and
+    /// the version changes on every modification (the paper's plain
+    /// "RNTree" variant in §6.3).
+    pub dual_slot: bool,
+    /// Use sequential (non-transactional) tree traversal. Only valid for
+    /// single-threaded phases; the paper's single-thread benchmarks use it
+    /// for every tree equally.
+    pub seq_traversal: bool,
+    /// Split-journal slots (≥ the number of concurrent writer threads).
+    pub journal_slots: usize,
+}
+
+impl Default for RnConfig {
+    fn default() -> Self {
+        RnConfig {
+            dual_slot: true,
+            seq_traversal: false,
+            journal_slots: 64,
+        }
+    }
+}
+
+/// Operation counters (splits, compactions, retries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RnStats {
+    /// Leaf splits performed.
+    pub splits: u64,
+    /// In-place leaf compactions performed.
+    pub compactions: u64,
+    /// Operation-level retries (stale route, post-split rerun, …).
+    pub retries: u64,
+    /// Log entries wasted by failed conditionals / abandoned ops.
+    pub wasted_entries: u64,
+}
+
+/// The RNTree (see crate docs). Construct with [`RnTree::create`],
+/// [`RnTree::recover`] or [`RnTree::reopen_clean`].
+pub struct RnTree {
+    pub(crate) pool: Arc<PmemPool>,
+    pub(crate) alloc: BlockAllocator,
+    pub(crate) index: InnerIndex,
+    pub(crate) journal: SplitJournal,
+    pub(crate) cfg: RnConfig,
+    pub(crate) leftmost: u64,
+    pub(crate) splits: AtomicU64,
+    pub(crate) compactions: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) wasted: AtomicU64,
+    pub(crate) pool_exhausted: AtomicBool,
+}
+
+/// Decision taken for an allocated log entry under the leaf lock.
+enum Decision {
+    /// Slot array updated; carries the new slot image for the tslot copy.
+    Applied(SlotBuf),
+    /// Conditional insert: key already present.
+    Exists,
+    /// Conditional update: key absent.
+    Missing,
+    /// Slot array already holds `MAX_LIVE` entries; retry after the split.
+    Overfull,
+}
+
+/// What kind of write a modify operation is.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WriteMode {
+    /// Fail on duplicate key.
+    InsertStrict,
+    /// Fail on missing key.
+    UpdateStrict,
+    /// Insert-or-update.
+    Upsert,
+}
+
+impl RnTree {
+    // ---------------------------------------------------------------- plumbing
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// HTM counters of this tree's domain.
+    pub fn htm_stats(&self) -> HtmStatsSnapshot {
+        self.index.domain().stats().snapshot()
+    }
+
+    /// Operation counters.
+    pub fn rn_stats(&self) -> RnStats {
+        RnStats {
+            splits: self.splits.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            wasted_entries: self.wasted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True if a split could not allocate a leaf block (the tree still
+    /// works, but stops splitting; size the pool generously).
+    pub fn saw_pool_exhaustion(&self) -> bool {
+        self.pool_exhausted.load(Ordering::Relaxed)
+    }
+
+    fn traverse(&self, key: Key) -> u64 {
+        if self.cfg.seq_traversal {
+            self.index.traverse_seq(key)
+        } else {
+            self.index.traverse_tm(key)
+        }
+    }
+
+    fn read_slot_kind(&self) -> WhichSlot {
+        if self.cfg.dual_slot {
+            WhichSlot::Transient
+        } else {
+            WhichSlot::Persistent
+        }
+    }
+
+    /// Readers of the single-slot variant must wait out the lock bit
+    /// (seqlock); dual-slot readers only wait out splits (§4.4).
+    fn reader_waits_lock(&self) -> bool {
+        !self.cfg.dual_slot
+    }
+
+    // ---------------------------------------------------------------- modify
+
+    fn modify(&self, key: Key, value: Value, mode: WriteMode) -> Result<(), OpError> {
+        loop {
+            let leaf = Leaf::at(&self.pool, self.traverse(key));
+
+            let Some(entry) = leaf.alloc_entry() else {
+                // Log area exhausted: help the split along (Algorithm 1
+                // line 5 re-traverses "hoping the split completes"; the
+                // nlogs==plogs guard means someone must actually run it).
+                self.help_split(leaf);
+                self.note_retry();
+                continue;
+            };
+
+            // Steps 2–3 of §4.2: write and flush the log entry with no lock
+            // held. Parallel writers flush concurrently.
+            leaf.write_kv(entry, key, value);
+            leaf.persist_kv(entry);
+
+            leaf.lock();
+
+            // Coverage check: a split between traversal and lock may have
+            // shrunk this leaf's range. The entry itself cannot be stale
+            // (no split completes while it is undecided), so it is simply
+            // wasted and counted as decided.
+            if key > leaf.fence() {
+                self.decide_and_maybe_split(leaf, false);
+                leaf.unlock(false);
+                self.wasted.fetch_add(1, Ordering::Relaxed);
+                self.note_retry();
+                continue;
+            }
+
+            // htmLeafUpdate: the sorted slot array is edited inside a
+            // hardware transaction, making the 64-byte line the atomic
+            // write unit (§4.1). Conditional-write checks ride along for
+            // free thanks to the sorted order (§3.3). In single-threaded
+            // (`seq_traversal`) mode the slot is edited with plain stores
+            // instead — see `slot_update` for why this is faithful.
+            let decision = if self.cfg.seq_traversal {
+                let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
+                match Self::edit_slot(&leaf, &mut slot, key, entry, mode) {
+                    Decision::Applied(s) => {
+                        leaf.write_slot_seq(WhichSlot::Persistent, &s);
+                        Decision::Applied(s)
+                    }
+                    other => other,
+                }
+            } else {
+                self.index.domain().atomic(|txn| {
+                    let mut slot = leaf.read_slot_in(txn, WhichSlot::Persistent)?;
+                    match Self::edit_slot(&leaf, &mut slot, key, entry, mode) {
+                        Decision::Applied(s) => {
+                            leaf.write_slot_in(txn, WhichSlot::Persistent, &s)?;
+                            Ok(Decision::Applied(s))
+                        }
+                        other => Ok(other),
+                    }
+                })
+            };
+
+            let applied = if let Decision::Applied(slot) = &decision {
+                // Persistent instruction #2: the slot line. Atomic thanks
+                // to the line-granular flush; both its old and new states
+                // are consistent (§4.1).
+                leaf.persist_pslot();
+                if self.cfg.dual_slot {
+                    // htmLeafCopySlot: publish to readers only now, after
+                    // the flush — readers can never return un-persisted
+                    // data (§4.4).
+                    let slot = *slot;
+                    if self.cfg.seq_traversal {
+                        leaf.write_slot_seq(WhichSlot::Transient, &slot);
+                    } else {
+                        self.index
+                            .domain()
+                            .atomic(|txn| leaf.write_slot_in(txn, WhichSlot::Transient, &slot));
+                    }
+                }
+                true
+            } else {
+                self.wasted.fetch_add(1, Ordering::Relaxed);
+                false
+            };
+
+            let did_split = self.decide_and_maybe_split(leaf, applied);
+            // Single-slot variant: version bump per modification (§5.2.2);
+            // the split already bumped if it ran.
+            leaf.unlock(!self.cfg.dual_slot && applied && !did_split);
+
+            match decision {
+                Decision::Applied(_) => return Ok(()),
+                Decision::Exists => return Err(OpError::AlreadyExists),
+                Decision::Missing => return Err(OpError::NotFound),
+                Decision::Overfull => {
+                    self.note_retry();
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// The slot-array edit shared by the transactional (`htmLeafUpdate`)
+    /// and sequential paths. The sequential path exists because the
+    /// simulator's software TM costs hundreds of nanoseconds where real
+    /// RTM costs tens; in single-threaded benchmark mode we model the HTM
+    /// section as near-free plain stores. Crash atomicity is unaffected in
+    /// the simulation: the slot line reaches the durable image only
+    /// through the (atomic, line-granular) flush that follows. Sequential
+    /// mode therefore must not be combined with eviction-injection crash
+    /// tests, which is exactly the real-HTM hazard the transactional path
+    /// exists to prevent.
+    fn edit_slot(leaf: &Leaf<'_>, slot: &mut SlotBuf, key: Key, entry: usize, mode: WriteMode) -> Decision {
+        match leaf.search(slot, key) {
+            Ok(pos) => {
+                if mode == WriteMode::InsertStrict {
+                    return Decision::Exists;
+                }
+                slot.set_entry(pos, entry);
+            }
+            Err(pos) => {
+                if mode == WriteMode::UpdateStrict {
+                    return Decision::Missing;
+                }
+                if slot.len() == MAX_LIVE {
+                    return Decision::Overfull;
+                }
+                slot.insert_at(pos, entry);
+            }
+        }
+        Decision::Applied(*slot)
+    }
+
+    /// Counts one decided log entry and runs the (possibly deferred) split
+    /// when the log area is consumed and quiescent. Lock must be held.
+    /// Returns true if a split/compaction ran.
+    fn decide_and_maybe_split(&self, leaf: Leaf<'_>, _applied: bool) -> bool {
+        let plogs = leaf.plogs() + 1;
+        leaf.set_plogs(plogs);
+        if plogs < (LEAF_CAPACITY - 1) as u64 {
+            return false;
+        }
+        // Freeze allocation first (splitting bit and allocation counter
+        // share one atomic word), then check quiescence: after the freeze,
+        // `nlogs` cannot move, so the check cannot race a late allocation.
+        leaf.set_split();
+        if leaf.nlogs() == plogs {
+            self.split_or_compact(leaf);
+            true
+        } else {
+            // In-flight entries remain; their owners will re-trigger.
+            leaf.unset_split_nobump();
+            false
+        }
+    }
+
+    /// Allocation-failure path: take the lock and split if the log area is
+    /// exhausted *and* quiescent; otherwise just back off (in-flight
+    /// writers will decide their entries and trigger the split).
+    fn help_split(&self, leaf: Leaf<'_>) {
+        leaf.lock();
+        let nlogs = leaf.nlogs();
+        if nlogs >= LEAF_CAPACITY as u64 && nlogs == leaf.plogs() {
+            leaf.set_split();
+            // The freeze cannot race new allocations (the counter is full
+            // anyway), so the re-check under the frozen word is exact.
+            if leaf.nlogs() == leaf.plogs() {
+                self.split_or_compact(leaf);
+            } else {
+                leaf.unset_split_nobump();
+            }
+        }
+        leaf.unlock(false);
+        std::thread::yield_now();
+    }
+
+    fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ---------------------------------------------------------------- split
+
+    /// Splits (or, when mostly obsolete, compacts) the leaf. Caller holds
+    /// the lock, has set the splitting bit (freezing allocation), and has
+    /// verified `nlogs == plogs` (quiescent log area). Clears the
+    /// splitting bit (with a version bump) before returning.
+    fn split_or_compact(&self, leaf: Leaf<'_>) {
+        debug_assert_eq!(leaf.nlogs(), leaf.plogs());
+        let jslot = self.journal.acquire();
+        // Undo-log the whole node (Algorithm 3 line 2).
+        self.journal.log(&self.pool, jslot, leaf.off());
+
+        let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+        let pairs = leaf.collect_pairs(&slot);
+        let live = pairs.len();
+
+        if live < LEAF_CAPACITY / 2 {
+            // Mostly obsolete entries (update/remove churn): recycle the
+            // log area by compacting in place (§5.2.3's special-purpose
+            // split), journal-protected like a real split.
+            for (i, &(k, v)) in pairs.iter().enumerate() {
+                leaf.write_kv(i, k, v);
+            }
+            let id = SlotBuf::identity(live);
+            self.index.domain().atomic(|txn| {
+                leaf.write_slot_in(txn, WhichSlot::Persistent, &id)?;
+                leaf.write_slot_in(txn, WhichSlot::Transient, &id)
+            });
+            leaf.persist_all();
+            leaf.set_nlogs(live as u64);
+            leaf.set_plogs(live as u64);
+            self.journal.clear(&self.pool, jslot);
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            leaf.unset_split_bump();
+            return;
+        }
+
+        let Some(right_off) = self.alloc.alloc() else {
+            // Cannot grow: leave the leaf untouched (it still works, just
+            // re-triggers). Surfaced via `saw_pool_exhaustion`.
+            self.pool_exhausted.store(true, Ordering::Relaxed);
+            self.journal.clear(&self.pool, jslot);
+            leaf.unset_split_bump();
+            return;
+        };
+
+        // Algorithm 3: divide the pairs; left keeps the lower half with
+        // separator = its new maximum key.
+        let mid = live / 2;
+        debug_assert!(mid >= 1);
+        let sep = pairs[mid - 1].0;
+        let right = Leaf::at(&self.pool, right_off);
+
+        // Build and persist the new right sibling first (it is private
+        // until linked; a crash before the link leaks only the block,
+        // which allocator rebuild reclaims).
+        right.init_from_pairs(&pairs[mid..], leaf.fence(), leaf.next());
+
+        // Rewrite the left half in place, then link and persist. A crash
+        // anywhere in here is undone by the journal image.
+        for (i, &(k, v)) in pairs[..mid].iter().enumerate() {
+            leaf.write_kv(i, k, v);
+        }
+        let id = SlotBuf::identity(mid);
+        self.index.domain().atomic(|txn| {
+            leaf.write_slot_in(txn, WhichSlot::Persistent, &id)?;
+            leaf.write_slot_in(txn, WhichSlot::Transient, &id)
+        });
+        leaf.set_fence(sep);
+        leaf.set_next(right_off);
+        leaf.persist_all();
+        leaf.set_nlogs(mid as u64);
+        leaf.set_plogs(mid as u64);
+        self.journal.clear(&self.pool, jslot);
+
+        // htmTreeUpdate — before clearing the splitting bit, so readers
+        // spin until the volatile index routes the moved keys (this
+        // closes the lost-key window between Algorithm 3's lines 15/16).
+        self.index.tree_update(sep, leaf_ref(right_off));
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        leaf.unset_split_bump();
+    }
+
+    // ---------------------------------------------------------------- read
+
+    /// `htmLeafSnapshot`, with the sequential-mode fast path (see
+    /// `edit_slot` for the rationale).
+    fn snapshot_slot(&self, leaf: &Leaf<'_>, kind: WhichSlot) -> SlotBuf {
+        if self.cfg.seq_traversal {
+            leaf.read_slot_seq(kind)
+        } else {
+            self.index.domain().atomic(|txn| leaf.read_slot_in(txn, kind))
+        }
+    }
+
+    fn find_impl(&self, key: Key) -> Option<Value> {
+        loop {
+            let leaf = Leaf::at(&self.pool, self.traverse(key));
+            // Algorithm 4: stable version before, snapshot, validate after.
+            let v1 = leaf.stable_version(self.reader_waits_lock());
+            if key > leaf.fence() {
+                self.note_retry();
+                continue; // stale route (split won the race); re-traverse
+            }
+            // htmLeafSnapshot: only the slot line is read transactionally;
+            // the binary search stays outside the HTM section to keep the
+            // read set (and abort probability) small (§5.2.2).
+            let kind = self.read_slot_kind();
+            let slot = self.snapshot_slot(&leaf, kind);
+            let result = leaf
+                .search(&slot, key)
+                .ok()
+                .map(|pos| leaf.read_value(slot.entry(pos)));
+            if leaf.stable_version(self.reader_waits_lock()) != v1 {
+                self.note_retry();
+                continue;
+            }
+            return result;
+        }
+    }
+
+    fn scan_impl(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        out.clear();
+        if n == 0 {
+            return 0;
+        }
+        let mut cursor = start;
+        'traverse: loop {
+            let mut leaf_off = self.traverse(cursor);
+            loop {
+                let leaf = Leaf::at(&self.pool, leaf_off);
+                let v1 = leaf.stable_version(self.reader_waits_lock());
+                let fence = leaf.fence();
+                if cursor > fence {
+                    self.note_retry();
+                    continue 'traverse;
+                }
+                let next = leaf.next();
+                let kind = self.read_slot_kind();
+                let slot = self.snapshot_slot(&leaf, kind);
+                let from = match leaf.search(&slot, cursor) {
+                    Ok(p) | Err(p) => p,
+                };
+                let mut tmp: Vec<(Key, Value)> = Vec::with_capacity(slot.len() - from);
+                for pos in from..slot.len() {
+                    let e = slot.entry(pos);
+                    tmp.push((leaf.read_key(e), leaf.read_value(e)));
+                }
+                if leaf.stable_version(self.reader_waits_lock()) != v1 {
+                    self.note_retry();
+                    continue 'traverse;
+                }
+                for kv in tmp {
+                    out.push(kv);
+                    if out.len() == n {
+                        return n;
+                    }
+                }
+                if next == 0 || fence == u64::MAX {
+                    return out.len();
+                }
+                cursor = fence + 1;
+                leaf_off = next;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- remove
+
+    fn remove_impl(&self, key: Key) -> Result<(), OpError> {
+        loop {
+            let leaf = Leaf::at(&self.pool, self.traverse(key));
+            leaf.lock();
+            if key > leaf.fence() {
+                leaf.unlock(false);
+                self.note_retry();
+                continue;
+            }
+            // Remove only edits the slot array (§5.2.3): one persistent
+            // instruction.
+            let removed = if self.cfg.seq_traversal {
+                let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
+                match leaf.search(&slot, key) {
+                    Err(_) => None,
+                    Ok(pos) => {
+                        slot.remove_at(pos);
+                        leaf.write_slot_seq(WhichSlot::Persistent, &slot);
+                        Some(slot)
+                    }
+                }
+            } else {
+                self.index.domain().atomic(|txn| {
+                    let mut slot = leaf.read_slot_in(txn, WhichSlot::Persistent)?;
+                    match leaf.search(&slot, key) {
+                        Err(_) => Ok(None),
+                        Ok(pos) => {
+                            slot.remove_at(pos);
+                            leaf.write_slot_in(txn, WhichSlot::Persistent, &slot)?;
+                            Ok(Some(slot))
+                        }
+                    }
+                })
+            };
+            return match removed {
+                None => {
+                    leaf.unlock(false);
+                    Err(OpError::NotFound)
+                }
+                Some(slot) => {
+                    leaf.persist_pslot();
+                    if self.cfg.dual_slot {
+                        if self.cfg.seq_traversal {
+                            leaf.write_slot_seq(WhichSlot::Transient, &slot);
+                        } else {
+                            self.index
+                                .domain()
+                                .atomic(|txn| leaf.write_slot_in(txn, WhichSlot::Transient, &slot));
+                        }
+                    }
+                    leaf.unlock(!self.cfg.dual_slot);
+                    Ok(())
+                }
+            };
+        }
+    }
+
+    // ---------------------------------------------------------------- checks
+
+    /// Walks the whole tree and checks every structural invariant; returns
+    /// a description of the first violation. Quiescent phases only.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        let mut off = self.leftmost;
+        let mut last_key: Option<Key> = None;
+        let mut last_fence = 0u64;
+        let mut leaves = 0u64;
+        while off != 0 {
+            leaves += 1;
+            let leaf = Leaf::at(&self.pool, off);
+            let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+            if slot.len() > MAX_LIVE {
+                return Err(format!("leaf {off}: slot count {} > {MAX_LIVE}", slot.len()));
+            }
+            let mut seen = [false; LEAF_CAPACITY];
+            for pos in 0..slot.len() {
+                let e = slot.entry(pos);
+                if e >= LEAF_CAPACITY {
+                    return Err(format!("leaf {off}: slot entry {e} out of range"));
+                }
+                if seen[e] {
+                    return Err(format!("leaf {off}: duplicate slot entry {e}"));
+                }
+                seen[e] = true;
+                if e as u64 >= leaf.nlogs() {
+                    return Err(format!(
+                        "leaf {off}: slot references unallocated entry {e} (nlogs={})",
+                        leaf.nlogs()
+                    ));
+                }
+                let k = leaf.read_key(e);
+                if let Some(prev) = last_key {
+                    if k <= prev {
+                        return Err(format!("leaf {off}: key {k} not > previous {prev}"));
+                    }
+                }
+                if k > leaf.fence() {
+                    return Err(format!("leaf {off}: key {k} above fence {}", leaf.fence()));
+                }
+                last_key = Some(k);
+                // The volatile index must route this key here.
+                let routed = self.index.traverse_seq(k);
+                if routed != off {
+                    return Err(format!("index routes key {k} to {routed}, expected {off}"));
+                }
+            }
+            if self.cfg.dual_slot {
+                let t = leaf.read_slot_seq(WhichSlot::Transient);
+                if t != slot {
+                    return Err(format!("leaf {off}: transient slot diverges from persistent"));
+                }
+            }
+            // Fence monotonicity holds across non-empty leaves. Empty
+            // leaves keep stale fences: recovery excludes them from the
+            // volatile index, so a neighbour can later absorb (part of)
+            // their old range and split with a smaller fence — harmless,
+            // because nothing ever routes to an index-excluded leaf.
+            if !slot.is_empty() {
+                if leaf.fence() < last_fence {
+                    return Err(format!(
+                        "leaf {off}: fence {} < predecessor {last_fence}",
+                        leaf.fence()
+                    ));
+                }
+                last_fence = leaf.fence();
+            }
+            let next = leaf.next();
+            if next == 0 && leaf.fence() != u64::MAX {
+                return Err(format!("last leaf {off} has fence {} != MAX", leaf.fence()));
+            }
+            off = next;
+        }
+        let _ = leaves;
+        Ok(())
+    }
+}
+
+impl PersistentIndex for RnTree {
+    fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.modify(key, value, WriteMode::InsertStrict)
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.modify(key, value, WriteMode::UpdateStrict)
+    }
+
+    fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.modify(key, value, WriteMode::Upsert)
+    }
+
+    fn remove(&self, key: Key) -> Result<(), OpError> {
+        self.remove_impl(key)
+    }
+
+    fn find(&self, key: Key) -> Option<Value> {
+        self.find_impl(key)
+    }
+
+    fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        self.scan_impl(start, n, out)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.dual_slot {
+            "RNTree+DS"
+        } else {
+            "RNTree"
+        }
+    }
+
+    fn supports_concurrency(&self) -> bool {
+        true
+    }
+
+    fn htm_abort_ratio(&self) -> Option<f64> {
+        Some(self.htm_stats().abort_ratio())
+    }
+
+    fn stats(&self) -> TreeStats {
+        let mut leaves = 0u64;
+        let mut entries = 0u64;
+        let mut off = self.leftmost;
+        while off != 0 {
+            let leaf = Leaf::at(&self.pool, off);
+            leaves += 1;
+            entries += leaf.read_slot_seq(WhichSlot::Persistent).len() as u64;
+            off = leaf.next();
+        }
+        TreeStats {
+            leaves,
+            entries,
+            splits: self.splits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for RnTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RnTree")
+            .field("variant", &self.name())
+            .field("stats", &self.rn_stats())
+            .finish()
+    }
+}
+
+// Construction / recovery live in recovery.rs; shared helpers are here so
+// both files stay readable.
+impl RnTree {
+    /// Layout bookkeeping shared by create/recover paths.
+    pub(crate) fn leaf_region_start(cfg: &RnConfig) -> u64 {
+        RootTable::END + SplitJournal::region_bytes(cfg.journal_slots)
+    }
+
+    pub(crate) fn make_parts(pool: &Arc<PmemPool>, cfg: &RnConfig) -> (BlockAllocator, SplitJournal) {
+        let leaf_region = Self::leaf_region_start(cfg);
+        assert!(
+            leaf_region + LEAF_BLOCK <= pool.len(),
+            "pool too small for journal + one leaf"
+        );
+        let alloc = BlockAllocator::new(leaf_region, pool.len(), LEAF_BLOCK);
+        let journal = SplitJournal::new(RootTable::END, cfg.journal_slots);
+        (alloc, journal)
+    }
+}

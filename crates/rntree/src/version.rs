@@ -1,0 +1,134 @@
+//! The leaf lock/version word (paper Figure 2, Masstree-style), extended
+//! with the `nlogs` allocation counter.
+//!
+//! ```text
+//! bits 40..33   nlogs      — log entries allocated (CAS-bumped)
+//! bit  32       lock       — held by the modify critical section
+//! bit  31       splitting  — set while the leaf is split or compacted
+//! bits 30..0    version    — bumped when a split/compaction finishes,
+//!                            and additionally on every modification in
+//!                            the single-slot (non-dual) variant
+//! ```
+//!
+//! `stableVersion` (paper §5.1) spins until the node is not splitting and
+//! returns the version bits. In the non-dual variant readers must also wait
+//! out the lock bit — that is precisely the §4.3 "version based" scheme
+//! whose reader/writer contention the dual slot array then removes.
+//!
+//! **Why `nlogs` lives in this word.** The paper's Algorithm 2 allocates
+//! log entries with a lock-free CAS while splits run under the leaf lock.
+//! If the counter were a separate word, an allocation could slip in
+//! *between* the splitter's "log area quiescent?" check and its counter
+//! reset, racing the split's KV compaction. Packing the counter beside the
+//! splitting bit closes that window exactly: `set_split` is an atomic RMW
+//! on the same word the allocator CASes, so after it succeeds every
+//! allocation attempt observes the splitting bit and backs off — the log
+//! area is provably frozen for the whole split.
+
+/// Bit masks and helpers for the leaf version word.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafVersion;
+
+impl LeafVersion {
+    /// The lock bit (bit 32).
+    pub const LOCK: u64 = 1 << 32;
+    /// The splitting bit (bit 31).
+    pub const SPLIT: u64 = 1 << 31;
+    /// Mask of the version counter bits (30..0).
+    pub const VERSION_MASK: u64 = (1 << 31) - 1;
+    /// Shift of the `nlogs` allocation counter.
+    pub const NLOGS_SHIFT: u32 = 33;
+    /// Mask of the `nlogs` field (8 bits: values 0..=64 fit).
+    pub const NLOGS_MASK: u64 = 0xFF << Self::NLOGS_SHIFT;
+    /// One allocation, as an addend on the packed word.
+    pub const NLOGS_ONE: u64 = 1 << Self::NLOGS_SHIFT;
+
+    /// Extracts the allocation counter.
+    #[inline]
+    pub fn nlogs(word: u64) -> u64 {
+        (word & Self::NLOGS_MASK) >> Self::NLOGS_SHIFT
+    }
+
+    /// Replaces the allocation counter field.
+    #[inline]
+    pub fn with_nlogs(word: u64, n: u64) -> u64 {
+        debug_assert!(n <= 0xFF);
+        (word & !Self::NLOGS_MASK) | (n << Self::NLOGS_SHIFT)
+    }
+
+    /// Extracts the version counter.
+    #[inline]
+    pub fn version(word: u64) -> u64 {
+        word & Self::VERSION_MASK
+    }
+
+    /// True if the lock bit is set.
+    #[inline]
+    pub fn locked(word: u64) -> bool {
+        word & Self::LOCK != 0
+    }
+
+    /// True if the splitting bit is set.
+    #[inline]
+    pub fn splitting(word: u64) -> bool {
+        word & Self::SPLIT != 0
+    }
+
+    /// Increment the version counter, wrapping within its 31 bits and
+    /// preserving the flag bits.
+    #[inline]
+    pub fn bump(word: u64) -> u64 {
+        let flags = word & !Self::VERSION_MASK;
+        let v = (Self::version(word) + 1) & Self::VERSION_MASK;
+        flags | v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_disjoint_from_version() {
+        assert_eq!(LeafVersion::LOCK & LeafVersion::VERSION_MASK, 0);
+        assert_eq!(LeafVersion::SPLIT & LeafVersion::VERSION_MASK, 0);
+        assert_eq!(LeafVersion::LOCK & LeafVersion::SPLIT, 0);
+    }
+
+    #[test]
+    fn bump_preserves_flags_and_wraps() {
+        let w = LeafVersion::LOCK | LeafVersion::SPLIT | 5;
+        let b = LeafVersion::bump(w);
+        assert!(LeafVersion::locked(b));
+        assert!(LeafVersion::splitting(b));
+        assert_eq!(LeafVersion::version(b), 6);
+
+        let max = LeafVersion::VERSION_MASK;
+        assert_eq!(LeafVersion::version(LeafVersion::bump(max)), 0);
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(!LeafVersion::locked(0));
+        assert!(LeafVersion::locked(LeafVersion::LOCK));
+        assert!(!LeafVersion::splitting(LeafVersion::LOCK));
+        assert_eq!(LeafVersion::version(LeafVersion::LOCK | 9), 9);
+    }
+
+    #[test]
+    fn nlogs_field_is_independent() {
+        let w = LeafVersion::LOCK | LeafVersion::SPLIT | 7;
+        let w = LeafVersion::with_nlogs(w, 64);
+        assert_eq!(LeafVersion::nlogs(w), 64);
+        assert!(LeafVersion::locked(w));
+        assert!(LeafVersion::splitting(w));
+        assert_eq!(LeafVersion::version(w), 7);
+        let w2 = w + LeafVersion::NLOGS_ONE;
+        assert_eq!(LeafVersion::nlogs(w2), 65);
+        assert_eq!(LeafVersion::version(w2), 7);
+        let w3 = LeafVersion::with_nlogs(w2, 3);
+        assert_eq!(LeafVersion::nlogs(w3), 3);
+        // bump must preserve the counter.
+        assert_eq!(LeafVersion::nlogs(LeafVersion::bump(w3)), 3);
+    }
+}

@@ -1,0 +1,240 @@
+//! Key-distribution generators: uniform, zipfian, scrambled zipfian.
+//!
+//! The zipfian generator is the standard YCSB construction (Gray et al.,
+//! "Quickly generating billion-record synthetic databases"): draw a rank
+//! with probability ∝ 1/rank^θ using the precomputed zeta normaliser.
+//! Plain zipfian makes rank 1 (key 1) the hottest; *scrambled* zipfian
+//! hashes the rank over the key space, so hot keys spread across leaves —
+//! the paper does exactly this for Figure 8's skewed runs ("we hash keys
+//! to distribute hottest keys to different leaf nodes").
+//!
+//! Generated keys are in `1..=n` (0 is reserved as a null sentinel by the
+//! trees' pool layout conventions).
+
+use rand::Rng;
+
+/// A key distribution over the key space `1..=n`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Zipf-distributed ranks; key 1 is hottest.
+    Zipfian {
+        /// Key-space size.
+        n: u64,
+        /// Skew coefficient θ (the paper sweeps 0.5–0.99; 0.8 default).
+        theta: f64,
+    },
+    /// Zipf-distributed ranks hashed across the key space.
+    ScrambledZipfian {
+        /// Key-space size.
+        n: u64,
+        /// Skew coefficient θ.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Key-space size.
+    pub fn n(&self) -> u64 {
+        match *self {
+            KeyDist::Uniform { n } | KeyDist::Zipfian { n, .. } | KeyDist::ScrambledZipfian { n, .. } => n,
+        }
+    }
+
+    /// Builds the sampling state (zeta precomputation for zipfian).
+    pub fn build(&self) -> KeyGen {
+        match *self {
+            KeyDist::Uniform { n } => {
+                assert!(n > 0);
+                KeyGen::Uniform { n }
+            }
+            KeyDist::Zipfian { n, theta } => KeyGen::Zipfian(Zipf::new(n, theta, false)),
+            KeyDist::ScrambledZipfian { n, theta } => KeyGen::Zipfian(Zipf::new(n, theta, true)),
+        }
+    }
+}
+
+/// Sampling state for a [`KeyDist`]. Cheap to clone per worker thread.
+#[derive(Debug, Clone)]
+pub enum KeyGen {
+    /// Uniform sampler.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// (Scrambled) zipfian sampler.
+    Zipfian(Zipf),
+}
+
+impl KeyGen {
+    /// Draws the next key in `1..=n`.
+    #[inline]
+    pub fn next_key<R: Rng>(&self, rng: &mut R) -> u64 {
+        match self {
+            KeyGen::Uniform { n } => rng.gen_range(1..=*n),
+            KeyGen::Zipfian(z) => z.sample(rng),
+        }
+    }
+}
+
+/// YCSB-style zipfian sampler.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64, scramble: bool) -> Zipf {
+        assert!(n > 0, "zipf over empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1): {theta}");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble,
+        }
+    }
+
+    /// Draws a key.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            1
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            2
+        } else {
+            1 + (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n);
+        if self.scramble {
+            fnv64(rank) % self.n + 1
+        } else {
+            rank
+        }
+    }
+}
+
+/// Harmonic-like normaliser Σ 1/i^θ for i in 1..=n.
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+/// FNV-1a 64-bit hash (YCSB's scrambling hash).
+#[inline]
+fn fnv64(mut v: u64) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for _ in 0..8 {
+        hash ^= v & 0xFF;
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+        v >>= 8;
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_space() {
+        let g = KeyDist::Uniform { n: 100 }.build();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let k = g.next_key(&mut rng);
+            assert!((1..=100).contains(&k));
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_low_ranks() {
+        let g = KeyDist::Zipfian { n: 10_000, theta: 0.99 }.build();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut top10 = 0;
+        let total = 50_000;
+        for _ in 0..total {
+            if g.next_key(&mut rng) <= 10 {
+                top10 += 1;
+            }
+        }
+        // With θ=0.99 over 10k keys, the top-10 ranks carry a large share.
+        assert!(
+            top10 as f64 / total as f64 > 0.25,
+            "top-10 share too low: {top10}/{total}"
+        );
+    }
+
+    #[test]
+    fn low_theta_is_less_skewed_than_high_theta() {
+        let mut shares = Vec::new();
+        for theta in [0.5, 0.8, 0.99] {
+            let g = KeyDist::Zipfian { n: 10_000, theta }.build();
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut top100 = 0;
+            for _ in 0..30_000 {
+                if g.next_key(&mut rng) <= 100 {
+                    top100 += 1;
+                }
+            }
+            shares.push(top100);
+        }
+        assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let g = KeyDist::ScrambledZipfian { n: 10_000, theta: 0.9 }.build();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let k = g.next_key(&mut rng);
+            assert!((1..=10_000).contains(&k));
+            *counts.entry(k).or_insert(0u32) += 1;
+        }
+        // Still skewed: some key dominates…
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > 1_000, "hottest {hottest}");
+        // …but the hot keys are not the low ranks: the top-10 *key values*
+        // must not all be ≤ 100.
+        let mut hot: Vec<(u64, u32)> = counts.into_iter().collect();
+        hot.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        assert!(hot.iter().take(10).any(|&(k, _)| k > 1_000), "{:?}", &hot[..10]);
+    }
+
+    #[test]
+    fn zipfian_keys_stay_in_range() {
+        for theta in [0.0, 0.5, 0.99] {
+            let g = KeyDist::Zipfian { n: 7, theta }.build();
+            let mut rng = SmallRng::seed_from_u64(5);
+            for _ in 0..5_000 {
+                let k = g.next_key(&mut rng);
+                assert!((1..=7).contains(&k), "theta={theta} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Durability across *process* restarts: snapshot the simulated NVM to a
+//! file and reopen it later, exactly as a DAX-mapped device would persist.
+//!
+//! Run it twice — the second run finds the first run's data:
+//!
+//! ```text
+//! cargo run -p system-tests --example persistent_store
+//! cargo run -p system-tests --example persistent_store
+//! ```
+
+use std::sync::Arc;
+
+use index_common::PersistentIndex;
+use nvm::{PmemConfig, PmemPool};
+use rntree::{RnConfig, RnTree};
+
+fn store_path() -> std::path::PathBuf {
+    std::env::temp_dir().join("rntree_persistent_store.pmem")
+}
+
+fn main() {
+    let path = store_path();
+    let cfg = RnConfig::default();
+
+    let (pool, tree, generation) = if path.exists() {
+        // Second run: load the snapshot. Loading is semantically a crash +
+        // reboot, so we use the crash-recovery path.
+        let pool = Arc::new(PmemPool::load_durable(&path).expect("load snapshot"));
+        let tree = RnTree::recover(Arc::clone(&pool), cfg);
+        let generation = tree.find(0xC0FFEE).unwrap_or(0) + 1;
+        println!(
+            "reopened store: {} keys, generation {} -> {}",
+            tree.stats().entries,
+            generation - 1,
+            generation
+        );
+        // Everything from previous generations must still be there.
+        for g in 1..generation {
+            for i in 1..=100u64 {
+                let k = g * 1_000 + i;
+                assert_eq!(tree.find(k), Some(k * 2), "lost key {k} from generation {g}");
+            }
+        }
+        (pool, tree, generation)
+    } else {
+        let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(32 << 20)));
+        let tree = RnTree::create(Arc::clone(&pool), cfg);
+        println!("created fresh store at {}", path.display());
+        (pool, tree, 1)
+    };
+
+    // Write this generation's batch.
+    for i in 1..=100u64 {
+        let k = generation * 1_000 + i;
+        tree.upsert(k, k * 2).unwrap();
+    }
+    tree.upsert(0xC0FFEE, generation).unwrap();
+    tree.verify_invariants().unwrap();
+
+    // Report structure before snapshotting.
+    let report = tree.space_report();
+    println!(
+        "store now: {} live keys in {} leaves (mean fill {:.1}, utilization {:.0}%)",
+        report.live_entries,
+        report.leaves,
+        report.mean_live_fill,
+        report.utilization() * 100.0
+    );
+
+    // Snapshot the durable image. Only persisted state is captured — the
+    // save *is* a simulated power cut.
+    pool.save_durable(&path).expect("save snapshot");
+    println!("snapshot written; run me again to reopen it (generation {generation})");
+}

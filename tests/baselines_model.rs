@@ -1,0 +1,242 @@
+//! Model-based testing of every baseline tree against `BTreeMap`, plus
+//! the Table 1 persist-count contracts as cross-crate integration checks.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use baselines::{CddsTree, FpTree, NvTree, WbTree, WbVariant};
+use index_common::{OpError, PersistentIndex};
+use nvm::{PmemConfig, PmemPool};
+use proptest::prelude::*;
+
+fn pool() -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 24)))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Update(u64, u64),
+    Upsert(u64, u64),
+    Remove(u64),
+    Find(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy(key_max: u64) -> impl Strategy<Value = Op> {
+    let key = 1..=key_max;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.clone().prop_map(Op::Find),
+        (key, 0..15usize).prop_map(|(k, n)| Op::Scan(k, n)),
+    ]
+}
+
+/// Conditional-semantics model check (trees that enforce uniqueness).
+fn check_conditional(tree: &dyn PersistentIndex, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expect = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
+                    Ok(())
+                } else {
+                    Err(OpError::AlreadyExists)
+                };
+                assert_eq!(tree.insert(k, v), expect, "{}: insert {k}", tree.name());
+            }
+            Op::Update(k, v) => {
+                let expect = if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(k) {
+                    e.insert(v);
+                    Ok(())
+                } else {
+                    Err(OpError::NotFound)
+                };
+                assert_eq!(tree.update(k, v), expect, "{}: update {k}", tree.name());
+            }
+            Op::Upsert(k, v) => {
+                model.insert(k, v);
+                assert_eq!(tree.upsert(k, v), Ok(()), "{}: upsert {k}", tree.name());
+            }
+            Op::Remove(k) => {
+                let expect = if model.remove(&k).is_some() {
+                    Ok(())
+                } else {
+                    Err(OpError::NotFound)
+                };
+                assert_eq!(tree.remove(k), expect, "{}: remove {k}", tree.name());
+            }
+            Op::Find(k) => {
+                assert_eq!(tree.find(k), model.get(&k).copied(), "{}: find {k}", tree.name());
+            }
+            Op::Scan(k, n) => {
+                tree.scan_n(k, n, &mut out);
+                let expect: Vec<(u64, u64)> =
+                    model.range(k..).take(n).map(|(a, b)| (*a, *b)).collect();
+                assert_eq!(out, expect, "{}: scan {k}+{n}", tree.name());
+            }
+        }
+    }
+}
+
+/// Upsert-only model check (plain NVTree: insert acts as upsert, remove is
+/// blind-append) — compare visible state only.
+fn check_upsert_only(tree: &dyn PersistentIndex, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) | Op::Update(k, v) | Op::Upsert(k, v) => {
+                let _ = tree.upsert(k, v);
+                model.insert(k, v);
+            }
+            Op::Remove(k) => {
+                let _ = tree.remove(k);
+                model.remove(&k);
+            }
+            Op::Find(k) => {
+                assert_eq!(tree.find(k), model.get(&k).copied(), "find {k}");
+            }
+            Op::Scan(k, n) => {
+                tree.scan_n(k, n, &mut out);
+                let expect: Vec<(u64, u64)> =
+                    model.range(k..).take(n).map(|(a, b)| (*a, *b)).collect();
+                assert_eq!(out, expect, "scan {k}+{n}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wbtree_full_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+        let tree = WbTree::create(pool(), WbVariant::Full, false);
+        check_conditional(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn wbtree_so_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+        let tree = WbTree::create(pool(), WbVariant::SmallSlot, false);
+        check_conditional(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn fptree_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+        let tree = FpTree::create(pool(), false);
+        check_conditional(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn cdds_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+        let tree = CddsTree::create(pool(), false);
+        check_conditional(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn nvtree_conditional_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+        let tree = NvTree::new_conditional(pool(), false);
+        check_conditional(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn nvtree_plain_matches_upsert_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+        let tree = NvTree::create(pool(), false);
+        check_upsert_only(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+}
+
+/// Table 1 contract: steady-state persist counts per modify, as an
+/// integration check over the shared substrate.
+#[test]
+fn table1_persist_contracts() {
+    struct Case {
+        tree: Box<dyn PersistentIndex>,
+        pool: Arc<PmemPool>,
+        insert: u64,
+        remove: u64,
+    }
+    let mk = |f: &dyn Fn(Arc<PmemPool>) -> Box<dyn PersistentIndex>, ins, rem| {
+        let p = Arc::new(PmemPool::new(PmemConfig::fast(1 << 24)));
+        Case {
+            tree: f(Arc::clone(&p)),
+            pool: p,
+            insert: ins,
+            remove: rem,
+        }
+    };
+    let cases = vec![
+        mk(&|p| Box::new(NvTree::create(p, true)), 2, 2),
+        mk(&|p| Box::new(WbTree::create(p, WbVariant::Full, true)), 4, 3),
+        mk(&|p| Box::new(WbTree::create(p, WbVariant::SmallSlot, true)), 2, 1),
+        mk(&|p| Box::new(FpTree::create(p, true)), 3, 1),
+    ];
+    for case in cases {
+        for k in 1..=10u64 {
+            case.tree.insert(k * 2, k).unwrap();
+        }
+        let before = case.pool.stats().snapshot();
+        case.tree.insert(5, 5).unwrap();
+        let ins = case.pool.stats().snapshot().since(&before).persists;
+        assert_eq!(ins, case.insert, "{} insert persists", case.tree.name());
+        let before = case.pool.stats().snapshot();
+        case.tree.remove(5).unwrap();
+        let rem = case.pool.stats().snapshot().since(&before).persists;
+        assert_eq!(rem, case.remove, "{} remove persists", case.tree.name());
+    }
+}
+
+/// All trees agree on the same mixed scenario end-state.
+#[test]
+fn all_trees_agree_on_shared_scenario() {
+    let trees: Vec<Box<dyn PersistentIndex>> = vec![
+        Box::new(WbTree::create(pool(), WbVariant::Full, false)),
+        Box::new(WbTree::create(pool(), WbVariant::SmallSlot, false)),
+        Box::new(FpTree::create(pool(), false)),
+        Box::new(CddsTree::create(pool(), false)),
+        Box::new(NvTree::new_conditional(pool(), false)),
+    ];
+    for tree in &trees {
+        let mut x = 42u64;
+        for _ in 0..3_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = x % 400 + 1;
+            match x % 5 {
+                0 | 1 => {
+                    let _ = tree.upsert(k, x);
+                }
+                2 => {
+                    let _ = tree.insert(k, x);
+                }
+                3 => {
+                    let _ = tree.remove(k);
+                }
+                _ => {
+                    let _ = tree.update(k, x);
+                }
+            }
+        }
+    }
+    let mut reference: Option<Vec<(u64, u64)>> = None;
+    let mut out = Vec::new();
+    for tree in &trees {
+        tree.scan_n(0, 10_000, &mut out);
+        match &reference {
+            None => reference = Some(out.clone()),
+            Some(r) => assert_eq!(&out, r, "{} diverged", tree.name()),
+        }
+    }
+    assert!(!reference.unwrap().is_empty());
+}

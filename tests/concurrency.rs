@@ -1,0 +1,271 @@
+//! Multi-threaded correctness: linearizability smoke tests, hot-key
+//! stress (a regression test for the allocation/split freeze protocol),
+//! and reader/writer coordination for both RNTree variants and FPTree.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use baselines::FpTree;
+use index_common::PersistentIndex;
+use nvm::{PmemConfig, PmemPool};
+use rntree::{RnConfig, RnTree};
+
+fn rn(dual: bool) -> Arc<RnTree> {
+    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 26)));
+    Arc::new(RnTree::create(
+        pool,
+        RnConfig {
+            dual_slot: dual,
+            ..RnConfig::default()
+        },
+    ))
+}
+
+fn fp() -> Arc<FpTree> {
+    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 26)));
+    Arc::new(FpTree::create(pool, false))
+}
+
+/// Disjoint-range writers: every thread owns its keys; all acknowledged
+/// writes must be exactly visible afterwards.
+fn disjoint_writers(tree: Arc<dyn PersistentIndex>, threads: u64, per: u64) {
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let tree = Arc::clone(&tree);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per {
+                let k = t * per + i + 1;
+                tree.insert(k, k * 10).unwrap();
+                if i % 3 == 0 {
+                    tree.update(k, k * 11).unwrap();
+                }
+                if i % 7 == 0 {
+                    tree.remove(k).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..threads {
+        for i in 0..per {
+            let k = t * per + i + 1;
+            let expect = if i % 7 == 0 {
+                None
+            } else if i % 3 == 0 {
+                Some(k * 11)
+            } else {
+                Some(k * 10)
+            };
+            assert_eq!(tree.find(k), expect, "key {k}");
+        }
+    }
+}
+
+#[test]
+fn disjoint_writers_rntree_ds() {
+    let tree = rn(true);
+    disjoint_writers(Arc::clone(&tree) as _, 6, 2_500);
+    tree.verify_invariants().unwrap();
+}
+
+#[test]
+fn disjoint_writers_rntree_single_slot() {
+    let tree = rn(false);
+    disjoint_writers(Arc::clone(&tree) as _, 6, 2_500);
+    tree.verify_invariants().unwrap();
+}
+
+#[test]
+fn disjoint_writers_fptree() {
+    let tree = fp();
+    disjoint_writers(Arc::clone(&tree) as _, 6, 2_500);
+    tree.verify_invariants().unwrap();
+}
+
+/// Hot-key churn: a tiny key space hammered by writers exercises the
+/// split/compaction freeze protocol continuously. Regression test for the
+/// allocation-vs-split race (see `rntree::version` module docs): the old
+/// protocol wedged within a second under this load.
+fn hot_key_churn(tree: Arc<dyn PersistentIndex>, secs: u64) {
+    let progress = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..3u64 {
+        let tree = Arc::clone(&tree);
+        let progress = Arc::clone(&progress);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut x = 99u64 + t;
+            while !stop.load(Ordering::Relaxed) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let k = x % 150 + 1;
+                match x % 4 {
+                    0 | 1 => {
+                        let _ = tree.upsert(k, x);
+                    }
+                    2 => {
+                        std::hint::black_box(tree.find(k));
+                    }
+                    _ => {
+                        let _ = tree.remove(k);
+                    }
+                }
+                progress.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut last = 0;
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(500));
+        let now = progress.load(Ordering::Relaxed);
+        assert!(now > last, "workload wedged at {now} ops");
+        last = now;
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn hot_key_churn_rntree_ds() {
+    let tree = rn(true);
+    hot_key_churn(Arc::clone(&tree) as _, 3);
+    tree.verify_invariants().unwrap();
+}
+
+#[test]
+fn hot_key_churn_rntree_single_slot() {
+    let tree = rn(false);
+    hot_key_churn(Arc::clone(&tree) as _, 3);
+    tree.verify_invariants().unwrap();
+}
+
+#[test]
+fn hot_key_churn_fptree() {
+    let tree = fp();
+    hot_key_churn(Arc::clone(&tree) as _, 3);
+    tree.verify_invariants().unwrap();
+}
+
+/// Readers racing writers must never observe torn state: the value for
+/// key k is always k*large-prime + generation; a reader that sees any
+/// other relation caught a torn snapshot.
+#[test]
+fn readers_never_see_torn_values() {
+    for dual in [true, false] {
+        let tree = rn(dual);
+        for k in 1..=500u64 {
+            tree.insert(k, k * 2_654_435_761).unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_writer = {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut generation = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    generation += 1;
+                    for k in 1..=500u64 {
+                        tree.update(k, k * 2_654_435_761 + generation).unwrap();
+                    }
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for seed in 0..2u64 {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut x = seed + 1;
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Relaxed) && checked < 30_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = x % 500 + 1;
+                    let v = tree.find(k).expect("key vanished");
+                    assert!(
+                        v >= k * 2_654_435_761,
+                        "torn value for {k}: {v}"
+                    );
+                    // generation part must be sane (not interleaved bits)
+                    let generation = v - k * 2_654_435_761;
+                    assert!(generation < 1_000_000, "corrupt generation {generation}");
+                    checked += 1;
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        t_writer.join().unwrap();
+        tree.verify_invariants().unwrap();
+    }
+}
+
+/// Scans racing writers return sorted, coherent ranges.
+#[test]
+fn concurrent_scans_are_sorted_and_coherent() {
+    let tree = rn(true);
+    for k in 1..=2_000u64 {
+        tree.insert(k * 2, k).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let tree = Arc::clone(&tree);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut x = 5u64;
+            while !stop.load(Ordering::Relaxed) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let k = (x % 2_000 + 1) * 2;
+                let _ = tree.upsert(k, x);
+            }
+        })
+    };
+    let mut out = Vec::new();
+    for i in 0..2_000u64 {
+        let start = (i * 37) % 4_000;
+        tree.scan_n(start, 50, &mut out);
+        // Sorted, within range, even keys only.
+        for w in out.windows(2) {
+            assert!(w[0].0 < w[1].0, "unsorted scan");
+        }
+        for &(k, _) in &out {
+            assert!(k >= start && k % 2 == 0, "scan leaked key {k}");
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    tree.verify_invariants().unwrap();
+}
+
+/// Concurrent work followed by crash: everything acknowledged survives.
+#[test]
+fn concurrent_then_crash_then_recover() {
+    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 26)));
+    let cfg = RnConfig::default();
+    let tree = Arc::new(RnTree::create(Arc::clone(&pool), cfg));
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let tree = Arc::clone(&tree);
+            scope.spawn(move || {
+                for i in 0..3_000u64 {
+                    let k = t * 3_000 + i + 1;
+                    tree.insert(k, k).unwrap();
+                }
+            });
+        }
+    });
+    drop(tree);
+    pool.simulate_crash();
+    let tree = RnTree::recover(pool, cfg);
+    tree.verify_invariants().unwrap();
+    for k in 1..=12_000u64 {
+        assert_eq!(tree.find(k), Some(k), "key {k} lost");
+    }
+}

@@ -1,0 +1,244 @@
+//! Torture tests for the software-HTM substrate: multi-threaded invariant
+//! preservation under conflicts, fallback interleavings, and mixed
+//! transactional / non-transactional access — the access patterns the
+//! trees rely on, distilled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use htm::{HtmDomain, RetryPolicy, TmWord, TxnOptions};
+
+/// Bank-transfer invariant: concurrent transfers between random accounts
+/// must preserve the total, and no reader may ever observe a different
+/// total (snapshot atomicity).
+#[test]
+fn transfers_preserve_total_under_contention() {
+    const ACCOUNTS: usize = 32;
+    const TOTAL: u64 = 32_000;
+    let domain = Arc::new(HtmDomain::new());
+    let accounts: Arc<Vec<TmWord>> =
+        Arc::new((0..ACCOUNTS).map(|_| TmWord::new(TOTAL / ACCOUNTS as u64)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::new();
+    for t in 0..3u64 {
+        let domain = Arc::clone(&domain);
+        let accounts = Arc::clone(&accounts);
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut x = t + 1;
+            let mut moved = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let from = (x % ACCOUNTS as u64) as usize;
+                let to = ((x >> 16) % ACCOUNTS as u64) as usize;
+                if from == to {
+                    continue;
+                }
+                let amount = x % 10;
+                domain.atomic(|txn| {
+                    let f = txn.read(&accounts[from])?;
+                    if f < amount {
+                        return Ok(());
+                    }
+                    let g = txn.read(&accounts[to])?;
+                    txn.write(&accounts[from], f - amount)?;
+                    txn.write(&accounts[to], g + amount)
+                });
+                moved += 1;
+            }
+            moved
+        }));
+    }
+
+    // Reader: transactional snapshot of all accounts must always sum to
+    // TOTAL (the whole point of atomic multi-word visibility).
+    for _ in 0..2_000 {
+        let sum = domain.atomic(|txn| {
+            let mut s = 0u64;
+            for a in accounts.iter() {
+                s += txn.read(a)?;
+            }
+            Ok(s)
+        });
+        assert_eq!(sum, TOTAL, "torn transfer snapshot");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let moved: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(moved > 0);
+    // Final non-transactional sum agrees too (quiescent).
+    let sum: u64 = accounts.iter().map(|a| a.load_direct()).sum();
+    assert_eq!(sum, TOTAL);
+}
+
+/// Tiny capacity + aggressive fallback: correctness must survive constant
+/// irrevocable execution mixed with optimistic commits.
+#[test]
+fn fallback_heavy_execution_is_still_atomic() {
+    const N: usize = 24;
+    let domain = Arc::new(HtmDomain::with_options(
+        TxnOptions {
+            read_cap_lines: 2,
+            write_cap_lines: 2,
+        },
+        RetryPolicy { max_retries: 1 },
+    ));
+    let words: Arc<Vec<TmWord>> = Arc::new((0..N).map(|_| TmWord::new(0)).collect());
+
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let domain = Arc::clone(&domain);
+        let words = Arc::clone(&words);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..500 {
+                // Oversized txn: always capacity-aborts → fallback.
+                domain.atomic(|txn| {
+                    for w in words.iter() {
+                        let v = txn.read(w)?;
+                        txn.write(w, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for w in words.iter() {
+        assert_eq!(w.load_direct(), 1_500, "lost increment under fallback");
+    }
+    let s = domain.stats().snapshot();
+    assert!(s.fallbacks >= 1_000, "fallbacks: {}", s.fallbacks);
+}
+
+/// Non-transactional CAS/store mixed with transactions on the same words:
+/// the version-lock bumps must keep both sides conflict-coherent.
+#[test]
+fn mixed_tx_and_nontx_counters_are_exact() {
+    let domain = Arc::new(HtmDomain::new());
+    let word = Arc::new(TmWord::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let domain = Arc::clone(&domain);
+        let word = Arc::clone(&word);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..2_000 {
+                if t % 2 == 0 {
+                    word.fetch_add_nontx(1);
+                } else {
+                    domain.atomic(|txn| {
+                        let v = txn.read(&word)?;
+                        txn.write(&word, v + 1)
+                    });
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(word.load_direct(), 8_000);
+}
+
+/// Read-only transactions are consistent even while a writer keeps two
+/// words in lockstep through the fallback path.
+#[test]
+fn read_only_snapshots_respect_fallback_writers() {
+    let domain = Arc::new(HtmDomain::with_options(
+        TxnOptions {
+            read_cap_lines: 512,
+            write_cap_lines: 1, // writer's 2-word txn capacity-aborts → irrevocable
+        },
+        RetryPolicy::default(),
+    ));
+    let a = Arc::new(TmWord::new(0));
+    let b = Arc::new(TmWord::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let (domain, a, b, stop) =
+            (Arc::clone(&domain), Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                domain.atomic(|txn| {
+                    let x = txn.read(&a)?;
+                    txn.write(&a, x + 1)?;
+                    let y = txn.read(&b)?;
+                    txn.write(&b, y + 1)
+                });
+            }
+        })
+    };
+    for _ in 0..2_000 {
+        let (x, y) = domain.atomic(|txn| {
+            let x = txn.read(&a)?;
+            let y = txn.read(&b)?;
+            Ok((x, y))
+        });
+        assert_eq!(x, y, "lockstep broken across fallback boundary");
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+/// Explicit aborts never leak partial writes, from either execution mode.
+#[test]
+fn explicit_abort_discards_buffered_state() {
+    let domain = HtmDomain::new();
+    let w = TmWord::new(10);
+    let mut attempts = 0;
+    let out = domain.atomic(|txn| {
+        attempts += 1;
+        txn.write(&w, 99)?;
+        if attempts < 4 {
+            return Err(txn.abort(1));
+        }
+        txn.read(&w)
+    });
+    assert_eq!(out, 99, "read-own-write on final attempt");
+    assert_eq!(w.load_direct(), 99);
+    assert_eq!(attempts, 4);
+    assert!(domain.stats().snapshot().aborts_explicit >= 3);
+}
+
+/// Words inside a pmem arena are just as transactional as heap words —
+/// the overlay the trees rely on.
+#[test]
+fn pmem_resident_words_are_transactional() {
+    use nvm::{PmemConfig, PmemPool};
+    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 16)));
+    let domain = Arc::new(HtmDomain::new());
+    let offs: Vec<u64> = (0..8u64).map(|i| 4096 + i * 8).collect();
+
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let pool = Arc::clone(&pool);
+        let domain = Arc::clone(&domain);
+        let offs = offs.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..2_000 {
+                domain.atomic(|txn| {
+                    // Increment all 8 words atomically.
+                    for &o in &offs {
+                        let w = TmWord::from_atomic(pool.atomic_u64(o));
+                        let v = txn.read(w)?;
+                        txn.write(w, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for &o in &offs {
+        assert_eq!(pool.load_u64(o), 6_000);
+    }
+    // And the committed state persists like any other arena data.
+    pool.persist(4096, 64);
+    pool.simulate_crash();
+    for &o in &offs {
+        assert_eq!(pool.load_u64(o), 6_000);
+    }
+}

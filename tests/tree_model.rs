@@ -1,0 +1,168 @@
+//! Model-based testing: RNTree (both variants, both traversal modes)
+//! against `BTreeMap` over randomized operation sequences.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use index_common::{OpError, PersistentIndex};
+use nvm::{PmemConfig, PmemPool};
+use proptest::prelude::*;
+use rntree::{RnConfig, RnTree};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Update(u64, u64),
+    Upsert(u64, u64),
+    Remove(u64),
+    Find(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy(key_max: u64) -> impl Strategy<Value = Op> {
+    let key = 1..=key_max;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.clone().prop_map(Op::Find),
+        (key, 0..20usize).prop_map(|(k, n)| Op::Scan(k, n)),
+    ]
+}
+
+fn check_against_model(tree: &dyn PersistentIndex, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expect = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
+                    Ok(())
+                } else {
+                    Err(OpError::AlreadyExists)
+                };
+                assert_eq!(tree.insert(k, v), expect, "insert {k}");
+            }
+            Op::Update(k, v) => {
+                let expect = if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(k) {
+                    e.insert(v);
+                    Ok(())
+                } else {
+                    Err(OpError::NotFound)
+                };
+                assert_eq!(tree.update(k, v), expect, "update {k}");
+            }
+            Op::Upsert(k, v) => {
+                model.insert(k, v);
+                assert_eq!(tree.upsert(k, v), Ok(()), "upsert {k}");
+            }
+            Op::Remove(k) => {
+                let expect = if model.remove(&k).is_some() {
+                    Ok(())
+                } else {
+                    Err(OpError::NotFound)
+                };
+                assert_eq!(tree.remove(k), expect, "remove {k}");
+            }
+            Op::Find(k) => {
+                assert_eq!(tree.find(k), model.get(&k).copied(), "find {k}");
+            }
+            Op::Scan(k, n) => {
+                tree.scan_n(k, n, &mut out);
+                let expect: Vec<(u64, u64)> =
+                    model.range(k..).take(n).map(|(a, b)| (*a, *b)).collect();
+                assert_eq!(out, expect, "scan {k}+{n}");
+            }
+        }
+    }
+    // Final full sweep.
+    tree.scan_n(0, usize::MAX >> 1, &mut out);
+    let expect: Vec<(u64, u64)> = model.iter().map(|(a, b)| (*a, *b)).collect();
+    assert_eq!(out, expect, "final full scan");
+}
+
+fn new_tree(dual: bool, seq: bool) -> RnTree {
+    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 24)));
+    RnTree::create(
+        pool,
+        RnConfig {
+            dual_slot: dual,
+            seq_traversal: seq,
+            journal_slots: 4,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rntree_ds_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
+        let tree = new_tree(true, false);
+        check_against_model(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn rntree_single_slot_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
+        let tree = new_tree(false, false);
+        check_against_model(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn rntree_seq_mode_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
+        let tree = new_tree(true, true);
+        check_against_model(&tree, &ops);
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn dense_small_keyspace_churn(ops in proptest::collection::vec(op_strategy(20), 1..600)) {
+        // A 20-key space forces heavy log churn, compactions and
+        // obsolete-entry recycling within a single leaf.
+        let tree = new_tree(true, false);
+        check_against_model(&tree, &ops);
+        tree.verify_invariants().unwrap();
+        }
+}
+
+#[test]
+fn ascending_and_descending_bulk_loads() {
+    for dual in [true, false] {
+        let tree = new_tree(dual, false);
+        for k in 1..=2_000u64 {
+            tree.insert(k, k).unwrap();
+        }
+        for k in (2_001..=4_000u64).rev() {
+            tree.insert(k, k).unwrap();
+        }
+        for k in 1..=4_000u64 {
+            assert_eq!(tree.find(k), Some(k));
+        }
+        tree.verify_invariants().unwrap();
+        assert!(tree.rn_stats().splits > 30);
+    }
+}
+
+#[test]
+fn full_drain_and_refill() {
+    let tree = new_tree(true, false);
+    for k in 1..=1_000u64 {
+        tree.insert(k, k).unwrap();
+    }
+    for k in 1..=1_000u64 {
+        tree.remove(k).unwrap();
+    }
+    let mut out = Vec::new();
+    assert_eq!(tree.scan_n(0, 10, &mut out), 0, "tree must be empty");
+    for k in 1..=1_000u64 {
+        tree.insert(k, k + 1).unwrap();
+    }
+    for k in 1..=1_000u64 {
+        assert_eq!(tree.find(k), Some(k + 1));
+    }
+    tree.verify_invariants().unwrap();
+}

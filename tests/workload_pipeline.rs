@@ -1,0 +1,135 @@
+//! End-to-end pipeline tests: the ycsb drivers running against the real
+//! trees through the shared trait, exactly as the benchmark harness does.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use baselines::FpTree;
+use index_common::PersistentIndex;
+use nvm::{PmemConfig, PmemPool};
+use rntree::{RnConfig, RnTree};
+use ycsb::{run_closed_loop, run_open_loop, KeyDist, WorkloadSpec};
+
+fn rn_tree(n: u64) -> RnTree {
+    let pool = Arc::new(PmemPool::new(PmemConfig::fast(1 << 26)));
+    let tree = RnTree::create(pool, RnConfig::default());
+    for k in 1..=n {
+        tree.insert(k, k).unwrap();
+    }
+    tree
+}
+
+#[test]
+fn closed_loop_ycsb_a_on_rntree() {
+    let n = 10_000;
+    let tree = rn_tree(n);
+    let spec = WorkloadSpec::ycsb_a(KeyDist::Uniform { n });
+    let r = run_closed_loop(&tree, &spec, 3, Duration::from_millis(300), 11);
+    assert!(r.ops > 1_000, "ops={}", r.ops);
+    assert!(r.read_lat.count() > 0 && r.update_lat.count() > 0);
+    // 50/50 mix within tolerance.
+    let ratio = r.read_lat.count() as f64 / r.ops as f64;
+    assert!((0.40..0.60).contains(&ratio), "read share {ratio}");
+    tree.verify_invariants().unwrap();
+}
+
+#[test]
+fn closed_loop_zipfian_on_fptree() {
+    let n = 10_000;
+    let pool = Arc::new(PmemPool::new(PmemConfig::fast(1 << 26)));
+    let tree = FpTree::create(pool, false);
+    for k in 1..=n {
+        tree.insert(k, k).unwrap();
+    }
+    let spec = WorkloadSpec::ycsb_a(KeyDist::ScrambledZipfian { n, theta: 0.9 });
+    let r = run_closed_loop(&tree, &spec, 3, Duration::from_millis(300), 13);
+    assert!(r.ops > 1_000);
+    tree.verify_invariants().unwrap();
+    // Skewed writers force leaf-lock conflicts: some finds must have
+    // aborted against locked leaves (the paper's §6.3.1 mechanism).
+    let stats = tree.htm_stats();
+    assert!(stats.commits > 0);
+}
+
+#[test]
+fn open_loop_latency_includes_queueing() {
+    let n = 5_000;
+    let tree = rn_tree(n);
+    let spec = WorkloadSpec::ycsb_a(KeyDist::ScrambledZipfian { n, theta: 0.8 });
+    // Low offered load: latency must be far below the inter-arrival time.
+    let r = run_open_loop(&tree, &spec, 2, 500.0, Duration::from_millis(400), 17);
+    assert!(r.ops > 100);
+    assert!(
+        r.read_lat.quantile(0.5) < 2_000_000,
+        "unloaded p50 {} ns too high",
+        r.read_lat.quantile(0.5)
+    );
+}
+
+#[test]
+fn scan_workload_through_driver() {
+    let n = 20_000;
+    let tree = rn_tree(n);
+    let spec = WorkloadSpec {
+        mix: ycsb::Mix {
+            read: 50,
+            scan: 50,
+            ..Default::default()
+        },
+        dist: KeyDist::Uniform { n },
+        scan_len: 100,
+    };
+    let r = run_closed_loop(&tree, &spec, 2, Duration::from_millis(300), 19);
+    assert!(r.other_lat.count() > 0, "scans must have run");
+    // Scans of 100 sorted keys cost more than point reads.
+    assert!(
+        r.other_lat.mean() > r.read_lat.mean(),
+        "scan mean {} ≤ read mean {}",
+        r.other_lat.mean(),
+        r.read_lat.mean()
+    );
+}
+
+#[test]
+fn insert_heavy_workload_grows_tree() {
+    let n = 1_000;
+    let tree = rn_tree(n);
+    let before = tree.stats().entries;
+    let spec = WorkloadSpec {
+        mix: ycsb::Mix {
+            insert: 100,
+            ..Default::default()
+        },
+        dist: KeyDist::Uniform { n },
+        scan_len: 0,
+    };
+    let r = run_closed_loop(&tree, &spec, 2, Duration::from_millis(200), 23);
+    assert!(r.ops > 100);
+    let after = tree.stats().entries;
+    assert!(after > before, "inserts did not grow the tree");
+    tree.verify_invariants().unwrap();
+}
+
+#[test]
+fn mixed_trait_objects_share_one_driver() {
+    // The harness treats every tree uniformly through the trait; verify
+    // the pipeline works for a heterogeneous set.
+    let n = 2_000u64;
+    let trees: Vec<Box<dyn PersistentIndex>> = vec![
+        Box::new(rn_tree(n)),
+        Box::new({
+            let pool = Arc::new(PmemPool::new(PmemConfig::fast(1 << 25)));
+            let t = FpTree::create(pool, false);
+            for k in 1..=n {
+                t.insert(k, k).unwrap();
+            }
+            t
+        }),
+    ];
+    let spec = WorkloadSpec::ycsb_b(KeyDist::Uniform { n });
+    for tree in &trees {
+        let threads = if tree.supports_concurrency() { 2 } else { 1 };
+        let r = run_closed_loop(&**tree, &spec, threads, Duration::from_millis(150), 29);
+        assert!(r.ops > 100, "{} produced {} ops", tree.name(), r.ops);
+    }
+}
