@@ -1,16 +1,12 @@
-//! Criterion benchmark behind Figures 8/10: a short concurrent YCSB-A
-//! burst on the concurrent trees (FPTree vs RNTree±DS) under uniform and
-//! skewed keys. Criterion measures wall time per fixed op batch; the
-//! `repro fig8`/`fig10` binaries produce the full sweeps.
+//! Benchmark behind Figures 8/10: a short concurrent YCSB-A burst on the
+//! concurrent trees (FPTree vs RNTree±DS) under uniform and skewed keys.
+//! The `repro fig8`/`fig10` binaries produce the full sweeps.
 
 use std::sync::Arc;
-use std::time::Duration;
 
+use bench::microbench::{bench, group};
 use bench::{build_tree, pool_for, warm, TreeKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nvm::PmemConfig;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nvm::{PmemConfig, SplitMix64};
 
 const WARM: u64 = 20_000;
 const BATCH: u64 = 2_000;
@@ -27,10 +23,10 @@ fn run_batch(tree: &dyn index_common::PersistentIndex, zipf: bool, seed: u64) {
         for t in 0..THREADS {
             let gen = gen.clone();
             scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(seed + t as u64);
+                let mut rng = SplitMix64::new(seed + t as u64);
                 for _ in 0..BATCH / THREADS as u64 {
                     let k = gen.next_key(&mut rng);
-                    if rng.gen_bool(0.5) {
+                    if rng.next_f64() < 0.5 {
                         std::hint::black_box(tree.find(k));
                     } else {
                         let _ = tree.upsert(k, k);
@@ -41,28 +37,18 @@ fn run_batch(tree: &dyn index_common::PersistentIndex, zipf: bool, seed: u64) {
     });
 }
 
-fn bench_concurrent(c: &mut Criterion) {
+fn main() {
     for (label, zipf) in [("uniform", false), ("zipf08", true)] {
-        let mut group = c.benchmark_group(format!("ycsb_a_{label}_{THREADS}thr"));
-        group
-            .measurement_time(Duration::from_secs(2))
-            .sample_size(10)
-            .throughput(Throughput::Elements(BATCH));
+        group(&format!("ycsb_a_{label}_{THREADS}thr"));
         for kind in TreeKind::CONCURRENT {
             let pool = pool_for(kind, WARM, 0, PmemConfig::for_benchmarks(0));
             let tree: Arc<dyn index_common::PersistentIndex> = Arc::from(build_tree(kind, pool, false));
             warm(&*tree, WARM, 1);
             let mut seed = 0u64;
-            group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-                b.iter(|| {
-                    seed += 1;
-                    run_batch(&*tree, zipf, seed)
-                })
+            bench(&format!("ycsb_a_{label}_{THREADS}thr/{kind:?}"), || {
+                seed += 1;
+                run_batch(&*tree, zipf, seed);
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_concurrent);
-criterion_main!(benches);

@@ -1,77 +1,62 @@
-//! Criterion micro-benchmarks of the software-HTM substrate: transaction
+//! Micro-benchmarks of the software-HTM substrate: transaction
 //! begin/commit costs at various footprints, read-only vs writing, plus
 //! the non-transactional conflict-visible store. These quantify the
 //! emulation overhead that EXPERIMENTS.md discusses when comparing
 //! absolute numbers against the paper's real-RTM testbed.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::{bench, group};
 use htm::{HtmDomain, TmWord};
 
-fn bench_htm(c: &mut Criterion) {
+fn main() {
     let domain = HtmDomain::new();
     let words: Vec<TmWord> = (0..64).map(TmWord::new).collect();
 
-    let mut group = c.benchmark_group("txn_read_only");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group("txn_read_only");
     for n in [1usize, 8, 32] {
-        group.bench_function(BenchmarkId::from_parameter(format!("{n}_reads")), |b| {
-            b.iter(|| {
-                domain.atomic(|t| {
-                    let mut acc = 0;
-                    for w in &words[..n] {
-                        acc += t.read(w)?;
-                    }
-                    Ok(acc)
-                })
-            })
+        bench(&format!("txn_read_only/{n}_reads"), || {
+            domain.atomic(|t| {
+                let mut acc = 0;
+                for w in &words[..n] {
+                    acc += t.read(w)?;
+                }
+                Ok(acc)
+            });
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("txn_read_write");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group("txn_read_write");
     for n in [1usize, 8, 16] {
-        group.bench_function(BenchmarkId::from_parameter(format!("{n}_rw")), |b| {
-            b.iter(|| {
-                domain.atomic(|t| {
-                    for w in &words[..n] {
-                        let v = t.read(w)?;
-                        t.write(w, v + 1)?;
-                    }
-                    Ok(())
-                })
-            })
+        bench(&format!("txn_read_write/{n}_rw"), || {
+            domain.atomic(|t| {
+                for w in &words[..n] {
+                    let v = t.read(w)?;
+                    t.write(w, v + 1)?;
+                }
+                Ok(())
+            });
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("nontx_ops");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group("nontx_ops");
     let w = TmWord::new(0);
-    group.bench_function("load_direct", |b| b.iter(|| std::hint::black_box(w.load_direct())));
-    group.bench_function("store_nontx", |b| b.iter(|| w.store_nontx(1)));
-    group.bench_function("fetch_add_nontx", |b| b.iter(|| w.fetch_add_nontx(1)));
-    group.finish();
+    bench("nontx_ops/load_direct", || {
+        std::hint::black_box(w.load_direct());
+    });
+    bench("nontx_ops/store_nontx", || w.store_nontx(1));
+    bench("nontx_ops/fetch_add_nontx", || {
+        w.fetch_add_nontx(1);
+    });
 
     // The slot-array update shape: 8 reads + 8 writes in one txn — the
     // exact footprint of htmLeafUpdate.
-    let mut group = c.benchmark_group("slot_array_txn_shape");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
-    group.bench_function("8r8w", |b| {
-        b.iter(|| {
-            domain.atomic(|t| {
-                for w in &words[..8] {
-                    let v = t.read(w)?;
-                    t.write(w, v)?;
-                }
-                Ok(())
-            })
-        })
+    group("slot_array_txn_shape");
+    bench("slot_array_txn_shape/8r8w", || {
+        domain.atomic(|t| {
+            for w in &words[..8] {
+                let v = t.read(w)?;
+                t.write(w, v)?;
+            }
+            Ok(())
+        });
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_htm);
-criterion_main!(benches);

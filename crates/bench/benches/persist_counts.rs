@@ -1,26 +1,22 @@
-//! Criterion benchmark behind Table 1: the raw cost of persistent
-//! instructions, and of the per-modify persist sequences each leaf design
-//! issues (2 / 3 / 4 persists; CDDS-style shift chains).
+//! Benchmark behind Table 1: the raw cost of persistent instructions, and
+//! of the per-modify persist sequences each leaf design issues (2 / 3 / 4
+//! persists; CDDS-style shift chains).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::{bench, group};
 use nvm::{PmemConfig, PmemPool};
 
-fn bench_persist_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("persist_instruction");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+fn main() {
+    group("persist_instruction");
     for latency in [0u64, 140, 300] {
         let pool = PmemPool::new(PmemConfig {
             size: 1 << 20,
             write_latency_ns: latency,
             shadow: false,
         });
-        group.bench_function(BenchmarkId::from_parameter(format!("{latency}ns")), |b| {
-            b.iter(|| pool.persist(4096, 64))
+        bench(&format!("persist_instruction/{latency}ns"), || {
+            pool.persist(4096, 64);
         });
     }
-    group.finish();
 
     // The per-modify persist sequences of each leaf design, isolated from
     // tree logic: N line-persists with the paper's 140 ns medium.
@@ -29,39 +25,30 @@ fn bench_persist_paths(c: &mut Criterion) {
         write_latency_ns: 140,
         shadow: false,
     });
-    let mut group = c.benchmark_group("modify_persist_sequence");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group("modify_persist_sequence");
     for (name, persists) in [
         ("rntree_2", 2usize),
         ("fptree_3", 3),
         ("wbtree_4", 4),
         ("cdds_32shift", 32),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                for i in 0..persists {
-                    pool.persist(4096 + (i as u64) * 64, 16);
-                }
-            })
+        bench(&format!("modify_persist_sequence/{name}"), || {
+            for i in 0..persists {
+                pool.persist(4096 + (i as u64) * 64, 16);
+            }
         });
     }
-    group.finish();
 
     // Shadow mode cost: what the durable-image copy adds per flush.
-    let mut group = c.benchmark_group("shadow_overhead");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group("shadow_overhead");
     for shadow in [false, true] {
         let pool = PmemPool::new(PmemConfig {
             size: 1 << 20,
             write_latency_ns: 0,
             shadow,
         });
-        group.bench_function(BenchmarkId::from_parameter(format!("shadow={shadow}")), |b| {
-            b.iter(|| pool.persist(8192, 64))
+        bench(&format!("shadow_overhead/shadow={shadow}"), || {
+            pool.persist(8192, 64);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_persist_paths);
-criterion_main!(benches);

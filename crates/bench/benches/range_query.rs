@@ -1,38 +1,26 @@
-//! Criterion micro-benchmark behind Figure 6: range scans on sorted
-//! (RNTree, wB+Tree) vs unsorted (NVTree, FPTree) leaves.
+//! Micro-benchmark behind Figure 6: range scans on sorted (RNTree,
+//! wB+Tree) vs unsorted (NVTree, FPTree) leaves.
 
-use std::time::Duration;
-
+use bench::microbench::{bench, group};
 use bench::{build_tree, pool_for, warm, TreeKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nvm::PmemConfig;
 
 const WARM: u64 = 20_000;
 
-fn bench_scans(c: &mut Criterion) {
+fn main() {
     let kinds = [TreeKind::NvTree, TreeKind::WbTree, TreeKind::FpTree, TreeKind::RnTreeDs];
     for len in [10usize, 100, 1000] {
-        let mut group = c.benchmark_group(format!("scan_{len}"));
-        group
-            .measurement_time(Duration::from_secs(1))
-            .sample_size(20)
-            .throughput(Throughput::Elements(len as u64));
+        group(&format!("scan_{len}"));
         for kind in kinds {
             let pool = pool_for(kind, WARM, 0, PmemConfig::for_benchmarks(0));
             let tree = build_tree(kind, pool, true);
             warm(&*tree, WARM, 1);
             let mut buf = Vec::with_capacity(len);
             let mut k = 1u64;
-            group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-                b.iter(|| {
-                    k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    std::hint::black_box(tree.scan_n(k % WARM + 1, len, &mut buf))
-                })
+            bench(&format!("scan_{len}/{kind:?}"), || {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(tree.scan_n(k % WARM + 1, len, &mut buf));
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_scans);
-criterion_main!(benches);

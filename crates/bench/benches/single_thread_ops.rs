@@ -1,72 +1,55 @@
-//! Criterion micro-benchmarks behind Figure 4: single-thread find /
-//! insert / update latency per tree, at a small fixed scale.
+//! Micro-benchmarks behind Figure 4: single-thread find / insert / update
+//! latency per tree, at a small fixed scale.
 
-use std::time::Duration;
-
+use bench::microbench::{bench, group};
 use bench::{build_tree, pool_for, warm, TreeKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nvm::PmemConfig;
 
 const WARM: u64 = 20_000;
 
-fn bench_ops(c: &mut Criterion) {
-    let kinds = [
-        TreeKind::NvTree,
-        TreeKind::WbTree,
-        TreeKind::WbTreeSo,
-        TreeKind::FpTree,
-        TreeKind::RnTree,
-        TreeKind::RnTreeDs,
-    ];
+const KINDS: [TreeKind; 6] = [
+    TreeKind::NvTree,
+    TreeKind::WbTree,
+    TreeKind::WbTreeSo,
+    TreeKind::FpTree,
+    TreeKind::RnTree,
+    TreeKind::RnTreeDs,
+];
 
-    let mut group = c.benchmark_group("find");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
-    for kind in kinds {
+fn main() {
+    group("find");
+    for kind in KINDS {
         let pool = pool_for(kind, WARM, 0, PmemConfig::for_benchmarks(0));
         let tree = build_tree(kind, pool, true);
         warm(&*tree, WARM, 1);
         let mut k = 1u64;
-        group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-            b.iter(|| {
-                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-                std::hint::black_box(tree.find(k % WARM + 1))
-            })
+        bench(&format!("find/{kind:?}"), || {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(tree.find(k % WARM + 1));
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("insert");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
-    for kind in kinds {
+    group("insert");
+    for kind in KINDS {
         let pool = pool_for(kind, WARM, 4_000_000, PmemConfig::for_benchmarks(0));
         let tree = build_tree(kind, pool, true);
         warm(&*tree, WARM, 1);
         let mut next = WARM + 1;
-        group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-            b.iter(|| {
-                let _ = tree.insert(next, 1);
-                next += 1;
-            })
+        bench(&format!("insert/{kind:?}"), || {
+            let _ = tree.insert(next, 1);
+            next += 1;
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("update");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
-    for kind in kinds {
+    group("update");
+    for kind in KINDS {
         let pool = pool_for(kind, WARM, 0, PmemConfig::for_benchmarks(0));
         let tree = build_tree(kind, pool, true);
         warm(&*tree, WARM, 1);
         let mut k = 1u64;
-        group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-            b.iter(|| {
-                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let _ = tree.upsert(k % WARM + 1, 2);
-            })
+        bench(&format!("update/{kind:?}"), || {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let _ = tree.upsert(k % WARM + 1, 2);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

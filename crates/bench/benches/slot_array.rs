@@ -1,35 +1,27 @@
-//! Criterion benchmark of the §4.1 design point: keeping a leaf sorted
-//! via the cache-line slot array (RNTree, 2 persists) versus the valid-bit
+//! Benchmark of the §4.1 design point: keeping a leaf sorted via the
+//! cache-line slot array (RNTree, 2 persists) versus the valid-bit
 //! protocol (wB+Tree, 4 persists) versus append-only (NVTree, 2 persists
 //! but unsorted finds). Also benches the pure SlotBuf editing operations.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::microbench::{bench, group};
 use htm::HtmDomain;
 use nvm::{PmemConfig, PmemPool};
 use rntree::SlotBuf;
 
-fn bench_slotbuf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("slotbuf");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
-    group.bench_function("insert_middle", |b| {
-        let base = SlotBuf::identity(40);
-        b.iter(|| {
-            let mut s = base;
-            s.insert_at(20, 41);
-            std::hint::black_box(s)
-        })
+fn main() {
+    group("slotbuf");
+    let base = SlotBuf::identity(40);
+    bench("slotbuf/insert_middle", || {
+        let mut s = base;
+        s.insert_at(20, 41);
+        std::hint::black_box(s);
     });
-    group.bench_function("words_roundtrip", |b| {
-        let s = SlotBuf::identity(63);
-        b.iter(|| SlotBuf::from_words(std::hint::black_box(s).to_words()))
+    let s = SlotBuf::identity(63);
+    bench("slotbuf/words_roundtrip", || {
+        std::hint::black_box(SlotBuf::from_words(std::hint::black_box(s).to_words()));
     });
-    group.finish();
-}
 
-/// The crux comparison: one sorted-leaf modify's persistence protocol.
-fn bench_protocols(c: &mut Criterion) {
+    // The crux comparison: one sorted-leaf modify's persistence protocol.
     let pool = PmemPool::new(PmemConfig {
         size: 1 << 20,
         write_latency_ns: 140,
@@ -40,59 +32,47 @@ fn bench_protocols(c: &mut Criterion) {
     let slot_off = 4096u64;
     let valid_off = 2048u64;
 
-    let mut group = c.benchmark_group("sorted_modify_protocol");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group("sorted_modify_protocol");
 
     // RNTree: KV persist + transactional slot edit + slot persist.
-    group.bench_function("rntree_htm_slot", |b| {
-        b.iter(|| {
-            pool.store_u64(kv_off, 1);
-            pool.store_u64(kv_off + 8, 2);
-            pool.persist(kv_off, 16);
-            domain.atomic(|t| {
-                for i in 0..8u64 {
-                    let w = htm::TmWord::from_atomic(pool.atomic_u64(slot_off + i * 8));
-                    let v = t.read(w)?;
-                    t.write(w, v.wrapping_add(1))?;
-                }
-                Ok(())
-            });
-            pool.persist(slot_off, 64);
-        })
+    bench("sorted_modify_protocol/rntree_htm_slot", || {
+        pool.store_u64(kv_off, 1);
+        pool.store_u64(kv_off + 8, 2);
+        pool.persist(kv_off, 16);
+        domain.atomic(|t| {
+            for i in 0..8u64 {
+                let w = htm::TmWord::from_atomic(pool.atomic_u64(slot_off + i * 8));
+                let v = t.read(w)?;
+                t.write(w, v.wrapping_add(1))?;
+            }
+            Ok(())
+        });
+        pool.persist(slot_off, 64);
     });
 
     // wB+Tree: KV persist + valid←0 persist + slot persist + valid←1
     // persist (no HTM needed, but two extra persistent instructions).
-    group.bench_function("wbtree_valid_bit", |b| {
-        b.iter(|| {
-            pool.store_u64(kv_off, 1);
-            pool.store_u64(kv_off + 8, 2);
-            pool.persist(kv_off, 16);
-            pool.store_u64(valid_off, 0);
-            pool.persist(valid_off, 8);
-            for i in 0..8u64 {
-                pool.store_u64(slot_off + i * 8, i);
-            }
-            pool.persist(slot_off, 64);
-            pool.store_u64(valid_off, 1);
-            pool.persist(valid_off, 8);
-        })
+    bench("sorted_modify_protocol/wbtree_valid_bit", || {
+        pool.store_u64(kv_off, 1);
+        pool.store_u64(kv_off + 8, 2);
+        pool.persist(kv_off, 16);
+        pool.store_u64(valid_off, 0);
+        pool.persist(valid_off, 8);
+        for i in 0..8u64 {
+            pool.store_u64(slot_off + i * 8, i);
+        }
+        pool.persist(slot_off, 64);
+        pool.store_u64(valid_off, 1);
+        pool.persist(valid_off, 8);
     });
 
     // NVTree: KV persist + counter persist — cheap, but the leaf is
     // unsorted (finds scan, scans sort).
-    group.bench_function("nvtree_append_only", |b| {
-        b.iter(|| {
-            pool.store_u64(kv_off, 1);
-            pool.store_u64(kv_off + 8, 2);
-            pool.persist(kv_off, 16);
-            pool.store_u64(valid_off, 7);
-            pool.persist(valid_off, 8);
-        })
+    bench("sorted_modify_protocol/nvtree_append_only", || {
+        pool.store_u64(kv_off, 1);
+        pool.store_u64(kv_off + 8, 2);
+        pool.persist(kv_off, 16);
+        pool.store_u64(valid_off, 7);
+        pool.persist(valid_off, 8);
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_slotbuf, bench_protocols);
-criterion_main!(benches);

@@ -5,9 +5,12 @@
 //! cargo run -p bench --release --bin repro -- fig8 --warm 500000 --threads 1,2,4,8
 //! ```
 //!
-//! Subcommands: `table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablation all`.
+//! Subcommands: `table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablation all`,
+//! plus `bench-json` (machine-readable single-thread before/after numbers
+//! for the hot-path work, written to `BENCH_PR1.json` or `--out PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
-//! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`.
+//! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
+//! `--out PATH`.
 
 use std::time::Duration;
 
@@ -16,9 +19,9 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
-         [--latency-ns N] [--workers N] [--seed N]"
+         [--latency-ns N] [--workers N] [--seed N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -30,6 +33,7 @@ fn main() {
     }
     let cmd = args[0].clone();
     let mut scale = Scale::default();
+    let mut out_path = String::from("BENCH_PR1.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,6 +72,10 @@ fn main() {
                 scale.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
                 i += 2;
             }
+            "--out" => {
+                out_path = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -94,6 +102,7 @@ fn main() {
         "fig10" => experiments::fig10(&scale),
         "ablation" => experiments::ablation_latency(&scale),
         "breakdown" => experiments::breakdown(&scale),
+        "bench-json" => bench::prbench::bench_json(&scale, &out_path),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

@@ -4,10 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use index_common::PersistentIndex;
-use nvm::PmemConfig;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use nvm::{PmemConfig, SplitMix64};
 use rntree::{RnConfig, RnTree};
 use ycsb::{run_closed_loop, run_open_loop, KeyDist, WorkloadSpec};
 
@@ -85,10 +82,10 @@ pub fn table1(scale: &Scale) {
         // Inserts draw random fresh keys scattered far above the warmed
         // range, so sorted-in-place trees (CDDS) land at random positions
         // rather than always appending rightmost.
-        let mut ins_rng = SmallRng::seed_from_u64(scale.seed ^ 0xF00D);
+        let mut ins_rng = SplitMix64::new(scale.seed ^ 0xF00D);
         let mut ins_counts = Vec::with_capacity(200);
         for _ in 0..200 {
-            let k = n + 1 + ins_rng.gen_range(0..50 * n);
+            let k = n + 1 + ins_rng.next_below(50 * n);
             let before = pool.stats().snapshot();
             let _ = tree.upsert(k, 1);
             ins_counts.push(pool.stats().snapshot().since(&before).persists);
@@ -140,10 +137,10 @@ pub fn fig4(scale: &Scale) {
 
         // find
         let tree = fresh_warmed(kind, scale, 0, true);
-        let mut rng = SmallRng::seed_from_u64(scale.seed);
+        let mut rng = SplitMix64::new(scale.seed);
         let find = duration_loop(
             |_| {
-                let k = rng.gen_range(1..=n);
+                let k = rng.next_key(n);
                 std::hint::black_box(tree.find(k));
             },
             scale.duration,
@@ -160,10 +157,10 @@ pub fn fig4(scale: &Scale) {
 
         // update
         let tree = fresh_warmed(kind, scale, 0, true);
-        let mut rng = SmallRng::seed_from_u64(scale.seed + 1);
+        let mut rng = SplitMix64::new(scale.seed + 1);
         let update = duration_loop(
             |_| {
-                let k = rng.gen_range(1..=n);
+                let k = rng.next_key(n);
                 let _ = tree.upsert(k, k + 1);
             },
             scale.duration,
@@ -172,7 +169,7 @@ pub fn fig4(scale: &Scale) {
         // remove (distinct warmed keys, paper runs this briefly)
         let tree = fresh_warmed(kind, scale, 0, true);
         let mut order: Vec<u64> = (1..=n).collect();
-        order.shuffle(&mut SmallRng::seed_from_u64(scale.seed + 2));
+        SplitMix64::new(scale.seed + 2).shuffle(&mut order);
         let rem_count = (n / 4).max(1_000).min(order.len() as u64);
         let remove = count_loop(
             |i| {
@@ -183,15 +180,15 @@ pub fn fig4(scale: &Scale) {
 
         // mixed: 25% each of find/insert/update/remove (§6.2.4)
         let tree = fresh_warmed(kind, scale, count, true);
-        let mut rng = SmallRng::seed_from_u64(scale.seed + 3);
+        let mut rng = SplitMix64::new(scale.seed + 3);
         let mut fresh = n + 1;
         let mut order: Vec<u64> = (1..=n).collect();
-        order.shuffle(&mut SmallRng::seed_from_u64(scale.seed + 4));
+        SplitMix64::new(scale.seed + 4).shuffle(&mut order);
         let mut rem_i = 0usize;
         let mixed = count_loop(
-            |_| match rng.gen_range(0..4u32) {
+            |_| match rng.next_below(4) {
                 0 => {
-                    let k = rng.gen_range(1..=n);
+                    let k = rng.next_key(n);
                     std::hint::black_box(tree.find(k));
                 }
                 1 => {
@@ -199,7 +196,7 @@ pub fn fig4(scale: &Scale) {
                     fresh += 1;
                 }
                 2 => {
-                    let k = rng.gen_range(1..=n);
+                    let k = rng.next_key(n);
                     let _ = tree.upsert(k, 2);
                 }
                 _ => {
@@ -243,24 +240,24 @@ pub fn fig5(scale: &Scale) {
             count,
         );
         let tree = fresh_warmed(kind, scale, 0, true);
-        let mut rng = SmallRng::seed_from_u64(scale.seed);
+        let mut rng = SplitMix64::new(scale.seed);
         let update = duration_loop(
             |_| {
-                let k = rng.gen_range(1..=n);
+                let k = rng.next_key(n);
                 let _ = tree.update(k, 1).or_else(|_| tree.upsert(k, 1));
             },
             scale.duration,
         );
         let tree = fresh_warmed(kind, scale, count, true);
-        let mut rng = SmallRng::seed_from_u64(scale.seed + 1);
+        let mut rng = SplitMix64::new(scale.seed + 1);
         let mut fresh = n + 1;
         let mixed = count_loop(
             |_| {
-                if rng.gen_bool(0.5) {
+                if rng.next_f64() < 0.5 {
                     let _ = tree.insert(fresh, 1);
                     fresh += 1;
                 } else {
-                    let k = rng.gen_range(1..=n);
+                    let k = rng.next_key(n);
                     let _ = tree.upsert(k, 2);
                 }
             },
@@ -297,11 +294,11 @@ pub fn fig6(scale: &Scale) {
         let mut row = vec![format!("{:?}", kind)];
         let mut tputs = Vec::new();
         for &len in &sizes {
-            let mut rng = SmallRng::seed_from_u64(scale.seed);
+            let mut rng = SplitMix64::new(scale.seed);
             let mut buf = Vec::with_capacity(len);
             let tput = duration_loop(
                 |_| {
-                    let start = rng.gen_range(1..=n);
+                    let start = rng.next_key(n);
                     std::hint::black_box(tree.scan_n(start, len, &mut buf));
                 },
                 scale.duration / 2,

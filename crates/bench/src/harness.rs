@@ -5,9 +5,7 @@ use std::time::Duration;
 
 use baselines::{CddsTree, FpTree, NvTree, WbTree, WbVariant};
 use index_common::PersistentIndex;
-use nvm::{PmemConfig, PmemPool};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use nvm::{PmemConfig, PmemPool, SplitMix64};
 use rntree::{RnConfig, RnTree};
 
 /// Every tree the evaluation builds.
@@ -113,8 +111,7 @@ pub fn build_tree(kind: TreeKind, pool: Arc<PmemPool>, seq: bool) -> Box<dyn Per
 /// Warms a tree with keys `1..=n` (shuffled, deterministic), value = key.
 pub fn warm(tree: &dyn PersistentIndex, n: u64, seed: u64) {
     let mut keys: Vec<u64> = (1..=n).collect();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    keys.shuffle(&mut rng);
+    SplitMix64::new(seed).shuffle(&mut keys);
     for k in keys {
         tree.upsert(k, k).expect("warm insert failed");
     }

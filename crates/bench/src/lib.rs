@@ -24,6 +24,8 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
+pub mod prbench;
 pub mod report;
 
 pub use harness::{build_tree, pool_for, warm, Scale, TreeKind};

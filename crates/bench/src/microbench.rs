@@ -1,0 +1,34 @@
+//! Minimal self-contained micro-benchmark timer.
+//!
+//! Replaces criterion so the workspace builds and benches offline with
+//! zero external dependencies. Each measurement warms the closure briefly,
+//! sizes a batch for a ~200 ms window, and prints mean ns/iter. No
+//! statistics beyond the mean — the `repro` binary owns the serious
+//! throughput methodology; these exist for quick relative comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` after a short warm-up and prints the mean ns/iter.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    let warmup = Duration::from_millis(20);
+    let t0 = Instant::now();
+    let mut warm_iters = 0u64;
+    while t0.elapsed() < warmup {
+        f();
+        warm_iters += 1;
+    }
+    let per_ns = (t0.elapsed().as_nanos() as u64 / warm_iters.max(1)).max(1);
+    let target_ns = Duration::from_millis(200).as_nanos() as u64;
+    let iters = (target_ns / per_ns).clamp(10, 50_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<48} {ns:>12.1} ns/iter   ({iters} iters)");
+}
+
+/// Prints a section header, visually grouping related measurements.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

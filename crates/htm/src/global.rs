@@ -14,10 +14,26 @@
 //! False sharing of one entry by several words only ever causes spurious
 //! aborts, never incorrect execution.
 //!
-//! All accesses use `SeqCst`: this is a simulator, and a few nanoseconds per
-//! access is a fair price for a memory-ordering argument that is easy to
-//! audit (see "Rust Atomics and Locks", ch. 3: when in doubt, start from
-//! SeqCst and weaken with proof; we deliberately stay there).
+//! ## Memory orderings
+//!
+//! The table and clock use the minimal Acquire/Release scheme rather than
+//! blanket `SeqCst`; each call site below carries its own safety argument.
+//! The global shape of the proof is the standard TL2 one, built from two
+//! release→acquire edges:
+//!
+//! 1. **Publication.** A committer stores its values (`Release`) and then
+//!    `lock_release`s each entry at the commit version (`Release`). A reader
+//!    whose `lock_load` (`Acquire`) observes an entry value ≥ that version
+//!    synchronizes-with the release, so all of the commit's stores are
+//!    visible to it.
+//! 2. **Exclusion.** `lock_try_acquire` uses an `Acquire` CAS, so a new
+//!    owner sees everything the previous owner published before releasing.
+//!
+//! No site needs a total order over *unrelated* locations (the only thing
+//! `SeqCst` would add): every correctness argument in `txn.rs` is per-entry
+//! — the double lock-load sandwich, version comparison against `rv`, and
+//! commit-time re-validation are all about one entry's modification order,
+//! which plain coherence already totally orders.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -65,7 +81,13 @@ pub(crate) fn lock_index(addr: usize) -> usize {
 /// Loads lock entry `idx`.
 #[inline]
 pub(crate) fn lock_load(idx: usize) -> u64 {
-    table().entries[idx].load(Ordering::SeqCst)
+    // Ordering: Acquire. Pairs with the Release in `lock_release`: a reader
+    // that observes an *unlocked* entry at version v synchronizes-with the
+    // commit that released it, making all of that commit's value stores
+    // visible before the reader's subsequent value load. (The l1/l2
+    // sandwich in `Txn::read` additionally relies on read-read coherence of
+    // this one entry, which holds at any ordering.)
+    table().entries[idx].load(Ordering::Acquire)
 }
 
 /// Tries to swing lock entry `idx` from the (unlocked) value `cur` to the
@@ -73,8 +95,15 @@ pub(crate) fn lock_load(idx: usize) -> u64 {
 #[inline]
 pub(crate) fn lock_try_acquire(idx: usize, cur: u64, owner: u64) -> bool {
     debug_assert_eq!(cur & LOCKED, 0);
+    // Ordering: Acquire on success — the new owner synchronizes-with the
+    // previous owner's Release in `lock_release`, so it observes every store
+    // published under the previous ownership before touching the data. No
+    // Release is needed: acquisition publishes nothing (the buffered values
+    // are still private), and the *subsequent* `lock_release` carries the
+    // Release for everything done while holding the lock. Failure is
+    // Relaxed: the caller only retries or aborts on the returned bool.
     table().entries[idx]
-        .compare_exchange(cur, LOCKED | owner, Ordering::SeqCst, Ordering::SeqCst)
+        .compare_exchange(cur, LOCKED | owner, Ordering::Acquire, Ordering::Relaxed)
         .is_ok()
 }
 
@@ -83,19 +112,32 @@ pub(crate) fn lock_try_acquire(idx: usize, cur: u64, owner: u64) -> bool {
 #[inline]
 pub(crate) fn lock_release(idx: usize, version: u64) {
     debug_assert_eq!(version & LOCKED, 0);
-    table().entries[idx].store(version, Ordering::SeqCst);
+    // Ordering: Release. This is the publication edge: it orders every
+    // value store the owner performed (commit phase 3, or a non-tx store)
+    // before the entry becoming visibly unlocked, pairing with the Acquire
+    // loads in `lock_load` and `lock_try_acquire`.
+    table().entries[idx].store(version, Ordering::Release);
 }
 
 /// Current value of the global version clock.
 #[inline]
 pub(crate) fn clock_read() -> u64 {
-    CLOCK.load(Ordering::SeqCst)
+    // Ordering: Acquire. Pairs with the AcqRel bump below: sampling rv ≥ t
+    // synchronizes-with the commit that produced t, so any entry version
+    // ≤ rv that a read later validates refers to data whose stores are
+    // already visible (lock_release's Release then re-confirms per entry).
+    CLOCK.load(Ordering::Acquire)
 }
 
 /// Advances the global clock and returns the new (commit) timestamp.
 #[inline]
 pub(crate) fn clock_bump() -> u64 {
-    CLOCK.fetch_add(1, Ordering::SeqCst) + 1
+    // Ordering: AcqRel. Release so a thread that reads the bumped value
+    // inherits this committer's history (see `clock_read`); Acquire so the
+    // committer's later `lock_release(wv)` cannot be ordered before the
+    // timestamp exists — no entry may carry a version the clock has not yet
+    // reached, which is what makes `l1 > rv` a sound staleness test.
+    CLOCK.fetch_add(1, Ordering::AcqRel) + 1
 }
 
 /// Issues a fresh non-zero owner ticket (low 63 bits).

@@ -72,6 +72,7 @@ mod fallback;
 mod global;
 #[cfg(feature = "rtm-native")]
 pub mod native;
+mod smallset;
 mod stats;
 mod txn;
 mod word;

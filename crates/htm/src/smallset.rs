@@ -1,0 +1,279 @@
+//! Inline small-set storage for transaction metadata.
+//!
+//! TL2 transactions on the B+tree hot paths touch a handful of words: an
+//! inner-node descent reads one slot line, a leaf modify writes one slot
+//! line plus a version word. `Vec`-backed read/write sets cost four heap
+//! allocations per *attempt* (and every conflict retry repeats them), which
+//! dominates the cost of short transactions.
+//!
+//! The sets here store up to [`INLINE_CAP`] entries directly inside the
+//! transaction object — stack-resident, no allocation at all — and spill
+//! into a reusable per-thread scratch arena beyond that. A spill buffer is
+//! returned (cleared, capacity kept) to the arena when the transaction ends,
+//! so even a thread that keeps running oversized transactions allocates only
+//! the first time. Small transactions are allocation-free, full stop; the
+//! `small_txns_do_not_allocate` test in `tests/htm_stress.rs` enforces this.
+
+use std::cell::RefCell;
+
+/// Entries held inline (stack) before spilling to the scratch arena.
+///
+/// 16 covers every transaction the trees issue on their hot paths (a leaf
+/// modify writes ≤ 9 words; descents read ≤ 10). Structural operations
+/// (splits) spill — and reuse the arena.
+pub(crate) const INLINE_CAP: usize = 16;
+
+struct Scratch {
+    pairs: Vec<Vec<(usize, u64)>>,
+    lines: Vec<Vec<usize>>,
+}
+
+std::thread_local! {
+    /// Per-thread reusable spill buffers. Taken on spill, returned cleared
+    /// on transaction teardown; capacity is retained across transactions.
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            pairs: Vec::new(),
+            lines: Vec::new(),
+        })
+    };
+}
+
+fn take_pair_buf() -> Vec<(usize, u64)> {
+    SCRATCH.with(|s| s.borrow_mut().pairs.pop().unwrap_or_default())
+}
+
+fn return_pair_buf(mut v: Vec<(usize, u64)>) {
+    v.clear();
+    SCRATCH.with(|s| s.borrow_mut().pairs.push(v));
+}
+
+fn take_line_buf() -> Vec<usize> {
+    SCRATCH.with(|s| s.borrow_mut().lines.pop().unwrap_or_default())
+}
+
+fn return_line_buf(mut v: Vec<usize>) {
+    v.clear();
+    SCRATCH.with(|s| s.borrow_mut().lines.push(v));
+}
+
+/// Push-only set of `(key, value)` pairs with linear lookup by key.
+///
+/// Backs both the read set (key = lock index, value = observed version) and
+/// the write set (key = word address, value = buffered store).
+pub(crate) struct SmallPairSet {
+    inline: [(usize, u64); INLINE_CAP],
+    len: usize,
+    spill: Option<Vec<(usize, u64)>>,
+}
+
+impl SmallPairSet {
+    pub(crate) fn new() -> Self {
+        SmallPairSet {
+            inline: [(0, 0); INLINE_CAP],
+            len: 0,
+            spill: None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[(usize, u64)] {
+        match &self.spill {
+            Some(v) => v,
+            None => &self.inline[..self.len],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [(usize, u64)] {
+        match &mut self.spill {
+            Some(v) => v,
+            None => &mut self.inline[..self.len],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match &self.spill {
+            Some(v) => v.len(),
+            None => self.len,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends without checking for a duplicate key (callers dedup first).
+    pub(crate) fn push(&mut self, entry: (usize, u64)) {
+        if let Some(v) = &mut self.spill {
+            v.push(entry);
+            return;
+        }
+        if self.len < INLINE_CAP {
+            self.inline[self.len] = entry;
+            self.len += 1;
+            return;
+        }
+        let mut v = take_pair_buf();
+        v.extend_from_slice(&self.inline);
+        v.push(entry);
+        self.spill = Some(v);
+    }
+
+    /// Value stored under `key`, if present.
+    #[inline]
+    pub(crate) fn get(&self, key: usize) -> Option<u64> {
+        self.as_slice()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Mutable reference to the value stored under `key`, if present.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, key: usize) -> Option<&mut u64> {
+        self.as_mut_slice()
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+impl Drop for SmallPairSet {
+    fn drop(&mut self) {
+        if let Some(v) = self.spill.take() {
+            return_pair_buf(v);
+        }
+    }
+}
+
+/// Push-only set of distinct `usize` elements (the capacity model's
+/// cache-line sets).
+pub(crate) struct SmallLineSet {
+    inline: [usize; INLINE_CAP],
+    len: usize,
+    spill: Option<Vec<usize>>,
+}
+
+impl SmallLineSet {
+    pub(crate) fn new() -> Self {
+        SmallLineSet {
+            inline: [0; INLINE_CAP],
+            len: 0,
+            spill: None,
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        match &self.spill {
+            Some(v) => v,
+            None => &self.inline[..self.len],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match &self.spill {
+            Some(v) => v.len(),
+            None => self.len,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, x: usize) -> bool {
+        self.as_slice().contains(&x)
+    }
+
+    pub(crate) fn push(&mut self, x: usize) {
+        if let Some(v) = &mut self.spill {
+            v.push(x);
+            return;
+        }
+        if self.len < INLINE_CAP {
+            self.inline[self.len] = x;
+            self.len += 1;
+            return;
+        }
+        let mut v = take_line_buf();
+        v.extend_from_slice(&self.inline);
+        v.push(x);
+        self.spill = Some(v);
+    }
+}
+
+impl Drop for SmallLineSet {
+    fn drop(&mut self) {
+        if let Some(v) = self.spill.take() {
+            return_line_buf(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_set_inline_then_spill() {
+        let mut s = SmallPairSet::new();
+        for i in 0..INLINE_CAP + 5 {
+            s.push((i, i as u64 * 10));
+        }
+        assert_eq!(s.len(), INLINE_CAP + 5);
+        assert!(s.spill.is_some(), "set past INLINE_CAP must spill");
+        for i in 0..INLINE_CAP + 5 {
+            assert_eq!(s.get(i), Some(i as u64 * 10));
+        }
+        assert_eq!(s.get(999), None);
+        *s.get_mut(3).unwrap() = 77;
+        assert_eq!(s.get(3), Some(77));
+    }
+
+    #[test]
+    fn pair_set_stays_inline_at_cap() {
+        let mut s = SmallPairSet::new();
+        for i in 0..INLINE_CAP {
+            s.push((i, 1));
+        }
+        assert!(s.spill.is_none(), "exactly INLINE_CAP entries fit inline");
+    }
+
+    #[test]
+    fn spill_buffers_are_recycled() {
+        // Spill once to seed the arena, remember the capacity, then check a
+        // second spill reuses a buffer with that capacity (no fresh alloc).
+        {
+            let mut s = SmallPairSet::new();
+            for i in 0..4 * INLINE_CAP {
+                s.push((i, 0));
+            }
+        }
+        let cap = SCRATCH.with(|s| s.borrow().pairs.last().map(|v| v.capacity()));
+        let cap = cap.expect("drop must return the spill buffer");
+        assert!(cap >= 4 * INLINE_CAP);
+        let mut s = SmallPairSet::new();
+        for i in 0..INLINE_CAP + 1 {
+            s.push((i, 0));
+        }
+        assert_eq!(
+            s.spill.as_ref().map(|v| v.capacity()),
+            Some(cap),
+            "second spill must reuse the recycled buffer"
+        );
+    }
+
+    #[test]
+    fn line_set_contains_and_spill() {
+        let mut s = SmallLineSet::new();
+        for i in 0..INLINE_CAP + 3 {
+            s.push(i * 2);
+        }
+        assert_eq!(s.len(), INLINE_CAP + 3);
+        assert!(s.contains(0));
+        assert!(s.contains((INLINE_CAP + 2) * 2));
+        assert!(!s.contains(1));
+    }
+}

@@ -15,11 +15,20 @@
 //!   release the locks at the new version. Read-only transactions commit
 //!   for free: every read was already validated against `rv`.
 //!
+//! The read and write sets are [`crate::smallset`] small sets: stack-resident
+//! up to 16 entries, spilling into a per-thread scratch arena, so the hot
+//! path performs **zero heap allocations**. A 64-bit bloom summary of the
+//! write set lets `read` prove read-own-write misses with one AND instead of
+//! a linear scan.
+//!
 //! Transactions can also run **irrevocably** (the fallback-lock path): reads
 //! wait out committing writers and writes are conflict-visible immediately;
 //! mutual exclusion is provided by the fallback lock in [`crate::HtmDomain`].
 
+use std::marker::PhantomData;
+
 use crate::global;
+use crate::smallset::{SmallLineSet, SmallPairSet};
 use crate::word::TmWord;
 use crate::TxResult;
 
@@ -86,27 +95,47 @@ impl Default for TxnOptions {
 /// Bounded spin iterations when acquiring a write-set lock at commit.
 const COMMIT_LOCK_SPINS: u32 = 128;
 
-struct OptState<'t> {
+/// Bloom bit for a word address in the 64-bit write-set summary.
+///
+/// Top 6 bits of a Fibonacci hash of the word index: uniformly distributed,
+/// and word-granular so adjacent words get independent bits.
+#[inline]
+fn bloom_bit(addr: usize) -> u64 {
+    1u64 << ((addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15_usize) >> (usize::BITS - 6))
+}
+
+struct OptState {
     rv: u64,
     owner: u64,
     /// (lock index, observed version), deduplicated by index.
-    read_set: Vec<(usize, u64)>,
-    /// (word, buffered value), deduplicated by word address.
-    write_set: Vec<(&'t TmWord, u64)>,
+    read_set: SmallPairSet,
+    /// (word address, buffered value), deduplicated by address. Addresses
+    /// are `&'t TmWord` borrows erased to `usize`; `Txn<'t>` carries the
+    /// lifetime so they stay valid through commit.
+    write_set: SmallPairSet,
+    /// Bloom summary of write-set addresses: a clear bit proves the address
+    /// is absent, so `read` skips the read-own-write scan entirely.
+    write_filter: u64,
     /// Distinct cache lines read / written (capacity model).
-    read_lines: Vec<usize>,
-    write_lines: Vec<usize>,
+    read_lines: SmallLineSet,
+    write_lines: SmallLineSet,
 }
 
-enum Mode<'t> {
-    Optimistic(OptState<'t>),
+// The size gap between the variants is the design: `OptState` keeps its
+// read/write small-sets inline precisely so optimistic transactions never
+// heap-allocate, and `Txn` only ever lives on the stack of `atomic`.
+#[allow(clippy::large_enum_variant)]
+enum Mode {
+    Optimistic(OptState),
     Irrevocable,
 }
 
 /// A running transaction. Obtained from [`crate::HtmDomain::atomic`].
 pub struct Txn<'t> {
-    mode: Mode<'t>,
+    mode: Mode,
     opts: TxnOptions,
+    /// Write-set addresses borrow `'t` words; see [`OptState::write_set`].
+    _words: PhantomData<&'t TmWord>,
 }
 
 impl<'t> Txn<'t> {
@@ -115,12 +144,14 @@ impl<'t> Txn<'t> {
             mode: Mode::Optimistic(OptState {
                 rv: global::clock_read(),
                 owner: global::next_ticket(),
-                read_set: Vec::with_capacity(16),
-                write_set: Vec::with_capacity(8),
-                read_lines: Vec::with_capacity(16),
-                write_lines: Vec::with_capacity(8),
+                read_set: SmallPairSet::new(),
+                write_set: SmallPairSet::new(),
+                write_filter: 0,
+                read_lines: SmallLineSet::new(),
+                write_lines: SmallLineSet::new(),
             }),
             opts,
+            _words: PhantomData,
         }
     }
 
@@ -128,6 +159,7 @@ impl<'t> Txn<'t> {
         Txn {
             mode: Mode::Irrevocable,
             opts,
+            _words: PhantomData,
         }
     }
 
@@ -151,8 +183,13 @@ impl<'t> Txn<'t> {
                 Ok(w.load_direct())
             }
             Mode::Optimistic(st) => {
-                if let Some(&(_, v)) = st.write_set.iter().find(|(sw, _)| std::ptr::eq(*sw, w)) {
-                    return Ok(v);
+                let addr = w.addr();
+                // Read-own-write: the bloom summary proves absence with one
+                // AND; only a set bit (possible hit) pays the linear scan.
+                if st.write_filter & bloom_bit(addr) != 0 {
+                    if let Some(v) = st.write_set.get(addr) {
+                        return Ok(v);
+                    }
                 }
                 let idx = w.lock_idx();
                 let l1 = global::lock_load(idx);
@@ -164,13 +201,13 @@ impl<'t> Txn<'t> {
                 if l1 != l2 || l1 > st.rv {
                     return Err(Abort::CONFLICT);
                 }
-                match st.read_set.iter().find(|(i, _)| *i == idx) {
-                    Some(&(_, observed)) if observed != l1 => return Err(Abort::CONFLICT),
+                match st.read_set.get(idx) {
+                    Some(observed) if observed != l1 => return Err(Abort::CONFLICT),
                     Some(_) => {}
                     None => st.read_set.push((idx, l1)),
                 }
-                let line = w.addr() >> 6;
-                if !st.read_lines.contains(&line) {
+                let line = addr >> 6;
+                if !st.read_lines.contains(line) {
                     if st.read_lines.len() >= opts.read_cap_lines {
                         return Err(Abort::CAPACITY);
                     }
@@ -191,18 +228,23 @@ impl<'t> Txn<'t> {
                 Ok(())
             }
             Mode::Optimistic(st) => {
-                if let Some(entry) = st.write_set.iter_mut().find(|(sw, _)| std::ptr::eq(*sw, w)) {
-                    entry.1 = val;
-                    return Ok(());
+                let addr = w.addr();
+                let bit = bloom_bit(addr);
+                if st.write_filter & bit != 0 {
+                    if let Some(slot) = st.write_set.get_mut(addr) {
+                        *slot = val;
+                        return Ok(());
+                    }
                 }
-                let line = w.addr() >> 6;
-                if !st.write_lines.contains(&line) {
+                let line = addr >> 6;
+                if !st.write_lines.contains(line) {
                     if st.write_lines.len() >= opts.write_cap_lines {
                         return Err(Abort::CAPACITY);
                     }
                     st.write_lines.push(line);
                 }
-                st.write_set.push((w, val));
+                st.write_set.push((addr, val));
+                st.write_filter |= bit;
                 Ok(())
             }
         }
@@ -242,7 +284,7 @@ impl<'t> Txn<'t> {
 
     /// Two-phase commit. Consumes the transaction.
     pub(crate) fn commit(self) -> TxResult<()> {
-        let st = match self.mode {
+        let mut st = match self.mode {
             Mode::Irrevocable => return Ok(()),
             Mode::Optimistic(st) => st,
         };
@@ -252,12 +294,18 @@ impl<'t> Txn<'t> {
             return Ok(());
         }
 
-        // Phase 1: lock the write set in sorted lock-index order.
-        let mut lock_idxs: Vec<usize> = st.write_set.iter().map(|(w, _)| w.lock_idx()).collect();
-        lock_idxs.sort_unstable();
-        lock_idxs.dedup();
-        let mut acquired: Vec<(usize, u64)> = Vec::with_capacity(lock_idxs.len());
-        for &idx in &lock_idxs {
+        // Phase 1: lock the write set in sorted lock-index order. Sorting
+        // the set in place (entries are address-keyed; their order is free
+        // to change once buffered) keeps commit allocation-free.
+        let ws = st.write_set.as_mut_slice();
+        ws.sort_unstable_by_key(|&(addr, _)| global::lock_index(addr));
+        let mut acquired = SmallPairSet::new(); // (lock index, pre-lock version)
+        let ws = st.write_set.as_slice();
+        for i in 0..ws.len() {
+            let idx = global::lock_index(ws[i].0);
+            if i > 0 && global::lock_index(ws[i - 1].0) == idx {
+                continue; // duplicate lock index (adjacent after the sort)
+            }
             let mut spins = COMMIT_LOCK_SPINS;
             loop {
                 let cur = global::lock_load(idx);
@@ -267,7 +315,7 @@ impl<'t> Txn<'t> {
                 }
                 spins -= 1;
                 if spins == 0 {
-                    release_all(&acquired);
+                    release_all(acquired.as_slice());
                     return Err(Abort::CONFLICT);
                 }
                 std::hint::spin_loop();
@@ -276,22 +324,31 @@ impl<'t> Txn<'t> {
 
         // Phase 2: commit timestamp, then read-set validation.
         let wv = global::clock_bump();
-        for &(idx, observed) in &st.read_set {
-            let ok = match acquired.iter().find(|(i, _)| *i == idx) {
-                Some(&(_, prev)) => prev == observed,
+        for &(idx, observed) in st.read_set.as_slice() {
+            let ok = match acquired.get(idx) {
+                Some(prev) => prev == observed,
                 None => global::lock_load(idx) == observed,
             };
             if !ok {
-                release_all(&acquired);
+                release_all(acquired.as_slice());
                 return Err(Abort::CONFLICT);
             }
         }
 
         // Phase 3: apply buffered stores, then release at the new version.
-        for (w, v) in &st.write_set {
-            w.0.store(*v, std::sync::atomic::Ordering::SeqCst);
+        for &(addr, v) in st.write_set.as_slice() {
+            // SAFETY: every address was inserted from a `&'t TmWord` borrow
+            // in `write`, and `'t` outlives this `Txn` (commit consumes it
+            // within `'t`), so the word's `AtomicU64` storage is still live.
+            let w = unsafe { &*(addr as *const TmWord) };
+            // Ordering: Release. Pairs with the Acquire loads in
+            // `TmWord::load_direct` / `global::lock_load`: any thread that
+            // observes this value — directly, or via the version published
+            // by the `lock_release` below — also observes every write
+            // sequenced before it in this transaction.
+            w.0.store(v, std::sync::atomic::Ordering::Release);
         }
-        for &(idx, _) in &acquired {
+        for &(idx, _) in acquired.as_slice() {
             global::lock_release(idx, wv);
         }
         Ok(())
@@ -427,5 +484,42 @@ mod tests {
         let y = t.read(&b).unwrap();
         assert_eq!(x + y, 30);
         t.commit().unwrap();
+    }
+
+    #[test]
+    fn large_write_set_spills_and_commits() {
+        // Drive the write set far past INLINE_CAP so commit exercises the
+        // spilled path: sorted multi-lock acquisition, validation, apply.
+        let words: Vec<TmWord> = (0..200).map(TmWord::new).collect();
+        let mut txn = Txn::optimistic(TxnOptions::default());
+        for (i, w) in words.iter().enumerate() {
+            let v = txn.read(w).unwrap();
+            txn.write(w, v + i as u64 + 1).unwrap();
+        }
+        assert_eq!(txn.write_set_len(), 200);
+        txn.commit().unwrap();
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w.load_direct(), 2 * i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn bloom_lets_reads_see_own_writes_in_spilled_sets() {
+        let words: Vec<TmWord> = (0..64).map(|_| TmWord::new(0)).collect();
+        let mut txn = Txn::optimistic(TxnOptions::default());
+        for (i, w) in words.iter().enumerate() {
+            txn.write(w, i as u64).unwrap();
+        }
+        // Every buffered value must be readable back (no bloom false
+        // negatives) and overwrites must dedup, not duplicate.
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(txn.read(w).unwrap(), i as u64);
+            txn.write(w, i as u64 + 100).unwrap();
+        }
+        assert_eq!(txn.write_set_len(), 64, "overwrite must not re-push");
+        txn.commit().unwrap();
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w.load_direct(), i as u64 + 100);
+        }
     }
 }

@@ -58,7 +58,13 @@ impl TmWord {
     /// loads (the trees use leaf version numbers for this, per the paper).
     #[inline]
     pub fn load_direct(&self) -> u64 {
-        self.0.load(Ordering::SeqCst)
+        // Ordering: Acquire. Pairs with the Release value stores in commit
+        // phase 3 / `store_nontx`: observing a value implies observing
+        // everything its writer published before it. Callers that need a
+        // consistent multi-word snapshot still must validate by other means
+        // (version sandwich or lock wait) — Acquire only gives per-word
+        // publication, which is exactly what those protocols assume.
+        self.0.load(Ordering::Acquire)
     }
 
     /// Non-transactional store that is *visible as a conflict* to
@@ -75,7 +81,10 @@ impl TmWord {
                 continue;
             }
             if global::lock_try_acquire(idx, cur, owner) {
-                self.0.store(val, Ordering::SeqCst);
+                // Ordering: Release — pairs with Acquire in `load_direct`;
+                // the following `lock_release` (also Release) republishes
+                // the store to version-validating readers.
+                self.0.store(val, Ordering::Release);
                 global::lock_release(idx, global::clock_bump());
                 return;
             }
@@ -99,9 +108,15 @@ impl TmWord {
             if !global::lock_try_acquire(idx, cur_lock, owner) {
                 continue;
             }
-            let cur = self.0.load(Ordering::SeqCst);
+            // Ordering: Relaxed suffices for the inspection load — the
+            // Acquire CAS in `lock_try_acquire` above already synchronized
+            // with the previous owner's Release, so the latest committed
+            // value is visible; no later writer can intervene while we hold
+            // the entry.
+            let cur = self.0.load(Ordering::Relaxed);
             if cur == expect {
-                self.0.store(new, Ordering::SeqCst);
+                // Ordering: Release — same argument as `store_nontx`.
+                self.0.store(new, Ordering::Release);
                 global::lock_release(idx, global::clock_bump());
                 return Ok(cur);
             }

@@ -17,11 +17,24 @@
 //!   reader can never dereference a dangling inner pointer. All nodes are
 //!   owned by a registry and freed when the [`InnerIndex`] drops.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use htm::{HtmDomain, TmWord, TxResult, Txn};
 
 use crate::{is_leaf_ref, Key};
+
+/// When set, [`InnerIndex::traverse_seq`] runs the original branching
+/// binary search with no prefetching. Benchmark-only facility: it lets one
+/// binary produce honest before/after numbers for the descent rewrite
+/// (`repro bench-json`). Never enable it in concurrent code paths — it only
+/// affects the quiescent sequential traversal.
+static LEGACY_SEQ_DESCENT: AtomicBool = AtomicBool::new(false);
+
+/// Selects the pre-rewrite sequential descent (see [`LEGACY_SEQ_DESCENT`]).
+pub fn set_legacy_seq_descent(on: bool) {
+    LEGACY_SEQ_DESCENT.store(on, Ordering::Relaxed);
+}
 
 /// Maximum children per internal node.
 pub const INNER_FANOUT: usize = 32;
@@ -44,6 +57,24 @@ impl Inner {
             children: std::array::from_fn(|_| TmWord::new(0)),
         })
     }
+}
+
+/// Best-effort prefetch of the cache lines starting at `p` (no-op on
+/// non-x86_64 targets). Used on the chosen child during descent so the next
+/// level's header and first keys are in flight while this level finishes.
+#[inline(always)]
+fn prefetch_node<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        // First line: `count` + the first keys; second line: more keys —
+        // together they cover everything a fanout-32 binary search touches
+        // in its first few probes.
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+        _mm_prefetch::<_MM_HINT_T0>((p as *const i8).wrapping_add(64));
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 /// The shared internal-node index: a map from keys to persistent leaf
@@ -101,18 +132,23 @@ impl InnerIndex {
         unsafe { &*(node_ref as *const Inner) }
     }
 
-    /// Binary search: first child index whose subtree may contain `key`.
+    /// First child index whose subtree may contain `key`, as a branch-light
+    /// lower bound: the loop trip count depends only on `cnt`, and the data
+    /// comparison feeds an arithmetic select instead of a hard-to-predict
+    /// branch, so a descent costs no key-comparison mispredictions.
+    ///
+    /// Invariant: the answer lies in `[lo, lo + len - 1]` over the `cnt + 1`
+    /// candidate children; probing `keys[lo + half - 1]` decides whether it
+    /// is in the upper `half` (`key` greater) or the lower `len - half`.
     fn search_child<'t>(&'t self, txn: &mut Txn<'t>, inner: &'t Inner, key: Key) -> TxResult<usize> {
         let cnt = (txn.read(&inner.count)? as usize).min(MAX_KEYS);
-        let (mut lo, mut hi) = (0usize, cnt);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            let k = txn.read(&inner.keys[mid])?;
-            if key <= k {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
+        let mut lo = 0usize;
+        let mut len = cnt + 1;
+        while len > 1 {
+            let half = len / 2;
+            let k = txn.read(&inner.keys[lo + half - 1])?;
+            lo += usize::from(key > k) * half;
+            len -= half;
         }
         Ok(lo)
     }
@@ -127,6 +163,9 @@ impl InnerIndex {
             let inner = self.deref(node_ref);
             let idx = self.search_child(txn, inner, key)?;
             node_ref = txn.read(&inner.children[idx])?;
+            if !is_leaf_ref(node_ref) {
+                prefetch_node(node_ref as *const Inner);
+            }
         }
         Ok(crate::leaf_off(node_ref))
     }
@@ -140,6 +179,38 @@ impl InnerIndex {
     /// benchmarks, recovery verification). Must not run concurrently with
     /// transactional structure updates.
     pub fn traverse_seq(&self, key: Key) -> u64 {
+        if LEGACY_SEQ_DESCENT.load(Ordering::Relaxed) {
+            return self.traverse_seq_legacy(key);
+        }
+        let mut node_ref = self.root.load_seq();
+        while !is_leaf_ref(node_ref) {
+            let inner = self.deref(node_ref);
+            let cnt = (inner.count.load_seq() as usize).min(MAX_KEYS);
+            // Branching binary search, deliberately: with L2-resident inner
+            // nodes the predictor's speculation runs the next probe's load
+            // early, which beats a CMOV lower bound whose address chain is
+            // serial (measured ~5% on find; see `descent_ab` in bench).
+            let (mut lo, mut hi) = (0usize, cnt);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if key <= inner.keys[mid].load_seq() {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            node_ref = inner.children[lo].load_seq();
+            if !is_leaf_ref(node_ref) {
+                prefetch_node(node_ref as *const Inner);
+            }
+        }
+        crate::leaf_off(node_ref)
+    }
+
+    /// The sequential descent as it was before the branch-light rewrite:
+    /// a branching binary search per level and no prefetch. Kept verbatim
+    /// so `repro bench-json` can measure the rewrite's effect.
+    fn traverse_seq_legacy(&self, key: Key) -> u64 {
         let mut node_ref = self.root.load_seq();
         while !is_leaf_ref(node_ref) {
             let inner = self.deref(node_ref);

@@ -24,7 +24,7 @@
 mod inner;
 mod traits;
 
-pub use inner::{InnerIndex, INNER_FANOUT};
+pub use inner::{set_legacy_seq_descent, InnerIndex, INNER_FANOUT};
 pub use traits::{OpError, PersistentIndex, TreeStats};
 
 /// Key type: 64-bit, as in the paper's YCSB-style evaluation.

@@ -8,8 +8,7 @@
 //! the bump pointer and free list from the set of reachable block offsets.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Allocator for fixed-size, cache-line-aligned blocks inside `[start, end)`
 /// of a [`crate::PmemPool`].
@@ -64,7 +63,7 @@ impl BlockAllocator {
     /// Allocates one block, returning its pool offset, or `None` when the
     /// region is exhausted.
     pub fn alloc(&self) -> Option<u64> {
-        if let Some(off) = self.free.lock().pop() {
+        if let Some(off) = self.free.lock().unwrap().pop() {
             return Some(off);
         }
         let mut cur = self.bump.load(Ordering::Relaxed);
@@ -92,13 +91,13 @@ impl BlockAllocator {
     pub fn free(&self, off: u64) {
         debug_assert!(off >= self.start && off + self.block_size <= self.end);
         debug_assert_eq!((off - self.start) % self.block_size, 0);
-        self.free.lock().push(off);
+        self.free.lock().unwrap().push(off);
     }
 
     /// Number of blocks currently handed out (allocated minus freed).
     pub fn live_blocks(&self) -> u64 {
         let bumped = (self.bump.load(Ordering::Relaxed) - self.start) / self.block_size;
-        bumped - self.free.lock().len() as u64
+        bumped - self.free.lock().unwrap().len() as u64
     }
 
     /// Total block capacity of the region.
@@ -121,7 +120,7 @@ impl BlockAllocator {
             max_end = max_end.max(off + self.block_size);
         }
         self.bump.store(max_end, Ordering::Relaxed);
-        let mut free = self.free.lock();
+        let mut free = self.free.lock().unwrap();
         free.clear();
         let mut it = live.iter().peekable();
         let mut off = self.start;

@@ -15,7 +15,7 @@
 //! header-valid (persisted); invalidation persists the header again.
 //! Restoration is idempotent.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 use crate::{PmemPool, CACHE_LINE};
 
@@ -85,12 +85,12 @@ impl UndoJournal {
 
     /// Acquires a free slot, blocking while all are in use.
     pub fn acquire(&self) -> usize {
-        let mut free = self.free.lock();
+        let mut free = self.free.lock().unwrap();
         loop {
             if let Some(s) = free.pop() {
                 return s;
             }
-            self.available.wait(&mut free);
+            free = self.available.wait(free).unwrap();
         }
     }
 
@@ -116,7 +116,7 @@ impl UndoJournal {
         debug_assert!(slot < self.slots);
         pool.store_u64(self.header_off(slot), 0);
         pool.persist(self.header_off(slot), 16);
-        self.free.lock().push(slot);
+        self.free.lock().unwrap().push(slot);
         self.available.notify_one();
     }
 

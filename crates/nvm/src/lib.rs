@@ -68,7 +68,7 @@ mod stats;
 pub use alloc::BlockAllocator;
 pub use journal::UndoJournal;
 pub use latency::busy_wait_ns;
-pub use pool::{PmemConfig, PmemPool};
+pub use pool::{FlushHandle, PmemConfig, PmemPool};
 pub use rng::SplitMix64;
 pub use root::{RootTable, ROOT_SLOTS};
 pub use stats::{PmemStats, PmemStatsSnapshot};

@@ -3,8 +3,7 @@
 //! simulation. See the crate docs for the hardware model.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::buffer::Buffer;
 use crate::latency::busy_wait_ns;
@@ -57,6 +56,16 @@ impl PmemConfig {
             shadow: false,
         }
     }
+}
+
+/// An in-flight asynchronous flush: CLWBs issued, fence still pending.
+/// Created by [`PmemPool::flush_async`], consumed by [`PmemPool::drain`].
+#[derive(Debug)]
+pub struct FlushHandle {
+    off: u64,
+    len: u64,
+    /// When the media write completes; the drain spins out the remainder.
+    ready_at: std::time::Instant,
 }
 
 /// A simulated persistent-memory device. See the crate docs.
@@ -138,6 +147,25 @@ impl PmemPool {
         self.check(off, 0);
         // SAFETY: `off <= len` checked above.
         unsafe { self.arena.base().add(off as usize) }
+    }
+
+    /// Best-effort prefetch hint for the cache lines covering
+    /// `[off, off + len)`. Purely a performance hint: no ordering effects,
+    /// no stats, no simulated latency (prefetches are free on real NVM
+    /// reads too — only persists pay the media write latency).
+    #[inline]
+    pub fn prefetch(&self, off: u64, len: u64) {
+        self.check(off, len.max(1));
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let base = self.arena.base();
+            let mut line = off & !63;
+            while line < off + len.max(1) {
+                _mm_prefetch::<_MM_HINT_T0>(base.add(line as usize) as *const i8);
+                line += 64;
+            }
+        }
     }
 
     /// Returns the arena word at `off` as an `&AtomicU64`.
@@ -234,6 +262,62 @@ impl PmemPool {
         self.stats.persists.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Issues the CLWBs for `[off, off+len)` without the trailing fence:
+    /// the media write-latency clock starts now, but the calling thread
+    /// keeps running. Pass the handle to [`PmemPool::drain`] — the SFENCE —
+    /// which spins out only whatever latency the intervening work did not
+    /// already cover, then performs the durable-image copy, crash-trap
+    /// check and persist accounting exactly as [`PmemPool::persist`] would.
+    ///
+    /// This models the flush/work overlap of a `clwb; ...work...; sfence`
+    /// sequence. Two caveats, both matching hardware: the lines are not
+    /// durable until the drain (a crash in between may lose them), and a
+    /// store to a flushed line *after* `flush_async` may still reach the
+    /// durable image at drain time (redirtying after CLWB leaves what gets
+    /// home to the media unspecified) — callers overlap only lines they
+    /// exclusively own and do not rewrite.
+    #[must_use = "an async flush is not durable until drained (the fence)"]
+    pub fn flush_async(&self, off: u64, len: u64) -> FlushHandle {
+        debug_assert!(len > 0);
+        self.check(off, len);
+        let lines = (line_of(off + len - 1) - line_of(off)) / CACHE_LINE as u64 + 1;
+        FlushHandle {
+            off,
+            len,
+            ready_at: std::time::Instant::now()
+                + std::time::Duration::from_nanos(lines * self.cfg.write_latency_ns),
+        }
+    }
+
+    /// The fence paired with [`PmemPool::flush_async`]: waits out the
+    /// remaining media latency (often none), then applies the durable-image
+    /// copies and counts the persist instruction. The crash trap fires here
+    /// — at the fence — because that is the point where the seed's
+    /// synchronous `persist` made the lines durable.
+    pub fn drain(&self, h: FlushHandle) {
+        if self.persist_trap.load(Ordering::Relaxed) > 0
+            && self.persist_trap.fetch_sub(1, Ordering::Relaxed) == 1
+        {
+            panic!("pmem persist trap fired (simulated crash point)");
+        }
+        while std::time::Instant::now() < h.ready_at {
+            std::hint::spin_loop();
+        }
+        let first = line_of(h.off);
+        let last = line_of(h.off + h.len - 1);
+        let mut line = first;
+        loop {
+            self.stats.lines_flushed.fetch_add(1, Ordering::Relaxed);
+            self.copy_line_to_durable(line);
+            if line == last {
+                break;
+            }
+            line += CACHE_LINE as u64;
+        }
+        self.stats.fences.fetch_add(1, Ordering::Relaxed);
+        self.stats.persists.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Flushes a single line: latency stall + durable-image copy.
     fn flush_line(&self, line: u64) {
         debug_assert_eq!(line % CACHE_LINE as u64, 0);
@@ -252,7 +336,7 @@ impl PmemPool {
         }
         let lines = self.len() / CACHE_LINE as u64;
         let mut out = Vec::with_capacity(count);
-        let mut rng = self.evict_rng.lock();
+        let mut rng = self.evict_rng.lock().unwrap();
         for _ in 0..count {
             let line = rng.next_below(lines) * CACHE_LINE as u64;
             out.push(line);
@@ -278,7 +362,7 @@ impl PmemPool {
     fn copy_line_to_durable(&self, line: u64) {
         if let Some(durable) = &self.durable {
             let stripe = (line as usize / CACHE_LINE) & (STRIPES - 1);
-            let _g = self.stripe_locks[stripe].lock();
+            let _g = self.stripe_locks[stripe].lock().unwrap();
             for w in 0..(CACHE_LINE as u64 / 8) {
                 let v = self.load_u64(line + w * 8);
                 // SAFETY: in-bounds; durable-image writes are serialised per
@@ -358,7 +442,7 @@ impl PmemPool {
         assert_eq!(off % 8, 0, "unaligned durable read at {off}");
         let durable = self.durable.as_ref().expect("shadow mode required");
         let stripe = (line_of(off) as usize / CACHE_LINE) & (STRIPES - 1);
-        let _g = self.stripe_locks[stripe].lock();
+        let _g = self.stripe_locks[stripe].lock().unwrap();
         // SAFETY: in-bounds and aligned; serialised with flushes by the
         // stripe lock.
         unsafe { (durable.base().add(off as usize) as *const u64).read() }
@@ -432,6 +516,52 @@ mod tests {
         assert_eq!(s.persists, 2);
         assert_eq!(s.fences, 2);
         assert_eq!(s.lines_flushed, 3);
+    }
+
+    #[test]
+    fn async_flush_is_durable_only_after_drain() {
+        let p = pool();
+        p.store_u64(128, 7);
+        let h = p.flush_async(128, 16);
+        // CLWB issued, fence pending: a crash here loses the line.
+        assert_eq!(p.read_durable_u64(128), 0);
+        assert_eq!(p.stats().snapshot().persists, 0);
+        p.drain(h);
+        assert_eq!(p.read_durable_u64(128), 7);
+        let s = p.stats().snapshot();
+        assert_eq!(s.persists, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.lines_flushed, 1);
+        p.simulate_crash();
+        assert_eq!(p.load_u64(128), 7);
+    }
+
+    #[test]
+    fn async_flush_straddling_lines_counts_like_persist() {
+        let p = pool();
+        p.store_u64(56, 1);
+        p.store_u64(64, 2);
+        let h = p.flush_async(56, 16); // straddles the line boundary at 64
+        p.drain(h);
+        let s = p.stats().snapshot();
+        assert_eq!(s.persists, 1);
+        assert_eq!(s.lines_flushed, 2);
+        assert_eq!(p.read_durable_u64(56), 1);
+        assert_eq!(p.read_durable_u64(64), 2);
+    }
+
+    #[test]
+    fn persist_trap_fires_at_the_drain() {
+        let p = pool();
+        p.store_u64(128, 7);
+        let h = p.flush_async(128, 8);
+        p.arm_persist_trap(1);
+        let fence = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.drain(h)));
+        assert!(fence.is_err(), "trap must fire at the fence");
+        // Died before the durable copy: the line is lost, like a power
+        // failure between CLWB and SFENCE.
+        assert_eq!(p.read_durable_u64(128), 0);
+        p.disarm_persist_trap();
     }
 
     #[test]

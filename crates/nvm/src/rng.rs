@@ -40,6 +40,21 @@ impl SplitMix64 {
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// Uniform value in `[1, n]` — the YCSB key-space convention.
+    #[inline]
+    pub fn next_key(&mut self, n: u64) -> u64 {
+        1 + self.next_below(n)
+    }
+
+    /// Fisher–Yates shuffle (used by bench warm-up; replaces `rand`'s
+    /// `SliceRandom::shuffle` so the workspace stays dependency-free).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
 }
 
 #[cfg(test)]

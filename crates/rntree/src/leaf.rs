@@ -245,6 +245,21 @@ impl<'p> Leaf<'p> {
         self.pool.persist(self.off + kv_off(entry), 16);
     }
 
+    /// Asynchronous variant of [`Leaf::persist_kv`]: issues the CLWB and
+    /// returns immediately so the caller can overlap the media latency with
+    /// the locked phase (§4.2). Must be completed with [`Leaf::drain_kv`]
+    /// before the slot line is persisted — KV-before-slot durability order.
+    pub(crate) fn flush_kv_async(&self, entry: usize) -> nvm::FlushHandle {
+        debug_assert!(!htm::in_transaction(), "flush inside an HTM transaction");
+        self.pool.flush_async(self.off + kv_off(entry), 16)
+    }
+
+    /// The fence paired with [`Leaf::flush_kv_async`].
+    pub(crate) fn drain_kv(&self, h: nvm::FlushHandle) {
+        debug_assert!(!htm::in_transaction(), "fence inside an HTM transaction");
+        self.pool.drain(h);
+    }
+
     // ---- slot arrays -------------------------------------------------------
 
     fn slot_word(&self, which: WhichSlot, i: usize) -> &'p TmWord {
@@ -303,6 +318,23 @@ impl<'p> Leaf<'p> {
     /// Persists the entire block (split/compaction tail).
     pub(crate) fn persist_all(&self) {
         self.pool.persist(self.off, LEAF_BLOCK);
+    }
+
+    // ---- prefetch ----------------------------------------------------------
+
+    /// Prefetch hints for the lines an operation on this leaf is about to
+    /// touch: the header (lock/version word), both slot-array lines, and —
+    /// when `entries > 0` — the KV lines holding log entries `0..entries`.
+    /// Issued as early as the addresses are known so the misses overlap the
+    /// persist spin / lock acquisition instead of serializing behind them.
+    /// Semantically free: hints only.
+    pub(crate) fn prefetch_hot(&self, entries: usize) {
+        self.pool.prefetch(self.off + field::LOCKVER, 8);
+        self.pool.prefetch(self.off + field::PSLOT, 128);
+        if entries > 0 {
+            let end = kv_off(entries.min(LEAF_CAPACITY) - 1) + 16;
+            self.pool.prefetch(self.off + field::KV, end - field::KV);
+        }
     }
 
     // ---- search ------------------------------------------------------------

@@ -54,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+mod fingerprint;
 mod journal;
 mod layout;
 mod leaf;

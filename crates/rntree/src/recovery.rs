@@ -23,6 +23,7 @@ use std::sync::Arc;
 use index_common::{leaf_ref, InnerIndex, Key};
 use nvm::{PmemPool, RootTable};
 
+use crate::fingerprint::FpTable;
 use crate::layout::LEAF_CAPACITY;
 use crate::leaf::{Leaf, WhichSlot};
 use crate::tree::{roots, RnConfig, RnTree, MAGIC};
@@ -43,6 +44,7 @@ impl RnTree {
         RootTable::set_volatile(&pool, roots::CLEAN, 0);
         RootTable::persist(&pool);
 
+        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
         let index = InnerIndex::new(leaf_ref(first));
         RnTree {
             pool,
@@ -50,6 +52,7 @@ impl RnTree {
             index,
             journal,
             cfg,
+            fps,
             leftmost: first,
             splits: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
@@ -75,6 +78,7 @@ impl RnTree {
         let (alloc, journal) = Self::make_parts(&pool, &cfg);
         journal.recover(&pool);
 
+        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
         let leftmost = RootTable::get(&pool, roots::LEFTMOST);
         let mut reachable = Vec::new();
         let mut pairs: Vec<(Key, u64)> = Vec::new();
@@ -91,6 +95,11 @@ impl RnTree {
             leaf.set_nlogs(nlogs);
             leaf.set_plogs(nlogs);
             leaf.write_slot_seq(WhichSlot::Transient, &slot);
+            // The fingerprint table is transient scratch like the tslot:
+            // re-derive it from the recovered persistent slot array.
+            if !fps.is_disabled() {
+                fps.rebuild_leaf(&leaf, &slot);
+            }
             if !slot.is_empty() {
                 let max_key = leaf.read_key(slot.entry(slot.len() - 1));
                 pairs.push((max_key, leaf_ref(off)));
@@ -110,6 +119,7 @@ impl RnTree {
             index,
             journal,
             cfg,
+            fps,
             leftmost,
             splits: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
@@ -133,6 +143,7 @@ impl RnTree {
         );
         let (alloc, journal) = Self::make_parts(&pool, &cfg);
 
+        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
         let leftmost = RootTable::get(&pool, roots::LEFTMOST);
         let mut reachable = Vec::new();
         let mut pairs: Vec<(Key, u64)> = Vec::new();
@@ -142,6 +153,9 @@ impl RnTree {
             let leaf = Leaf::at(&pool, off);
             let slot = leaf.read_slot_seq(WhichSlot::Persistent);
             leaf.write_slot_seq(WhichSlot::Transient, &slot);
+            if !fps.is_disabled() {
+                fps.rebuild_leaf(&leaf, &slot);
+            }
             if !slot.is_empty() {
                 let max_key = leaf.read_key(slot.entry(slot.len() - 1));
                 pairs.push((max_key, leaf_ref(off)));
@@ -161,6 +175,7 @@ impl RnTree {
             index,
             journal,
             cfg,
+            fps,
             leftmost,
             splits: AtomicU64::new(0),
             compactions: AtomicU64::new(0),

@@ -32,6 +32,7 @@ use htm::HtmStatsSnapshot;
 use index_common::{leaf_ref, InnerIndex, Key, OpError, PersistentIndex, TreeStats, Value};
 use nvm::{BlockAllocator, PmemPool, RootTable};
 
+use crate::fingerprint::{fp_hash, FpTable};
 use crate::journal::SplitJournal;
 use crate::layout::{LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
 use crate::leaf::{Leaf, WhichSlot};
@@ -69,6 +70,26 @@ pub struct RnConfig {
     pub seq_traversal: bool,
     /// Split-journal slots (≥ the number of concurrent writer threads).
     pub journal_slots: usize,
+    /// Keep a DRAM-side 1-byte fingerprint per leaf entry and probe it
+    /// before key compares in point lookups (see `fingerprint.rs`). Purely
+    /// transient: the persistence layout and persist counts are unchanged,
+    /// and recovery rebuilds the table. Off reproduces the paper's plain
+    /// binary-search leaves (useful as an ablation baseline).
+    pub fingerprints: bool,
+    /// Issue prefetch hints for a leaf's header/slot/KV lines (and its
+    /// fingerprint stripe) as soon as the target leaf is known, so the
+    /// misses overlap the persist spin or lock acquisition. Hints only —
+    /// no semantic effect; off restores the seed's memory behaviour for
+    /// before/after benchmarking.
+    pub leaf_prefetch: bool,
+    /// Overlap a modify's KV-entry flush with the locked phase (§4.2):
+    /// issue the CLWB before taking the leaf lock and fence only right
+    /// before the slot line is persisted, so the lock/search/slot-edit
+    /// work runs while the line drains to media. Durability order (KV
+    /// entry before slot line) and the Table 1 persist counts are
+    /// unchanged; off restores the seed's synchronous flush-then-lock
+    /// sequence for before/after benchmarking.
+    pub async_flush: bool,
 }
 
 impl Default for RnConfig {
@@ -77,6 +98,9 @@ impl Default for RnConfig {
             dual_slot: true,
             seq_traversal: false,
             journal_slots: 64,
+            fingerprints: true,
+            leaf_prefetch: true,
+            async_flush: true,
         }
     }
 }
@@ -102,6 +126,7 @@ pub struct RnTree {
     pub(crate) index: InnerIndex,
     pub(crate) journal: SplitJournal,
     pub(crate) cfg: RnConfig,
+    pub(crate) fps: FpTable,
     pub(crate) leftmost: u64,
     pub(crate) splits: AtomicU64,
     pub(crate) compactions: AtomicU64,
@@ -199,10 +224,34 @@ impl RnTree {
                 continue;
             };
 
+            // Warm the lines the locked phase will touch (slot arrays, the
+            // live KV entries a search may compare, the fingerprint stripe)
+            // while the persist below spins out the media latency.
+            if self.cfg.leaf_prefetch {
+                leaf.prefetch_hot(entry);
+                self.fps.prefetch_stripe(leaf.off());
+            }
+
             // Steps 2–3 of §4.2: write and flush the log entry with no lock
-            // held. Parallel writers flush concurrently.
+            // held. Parallel writers flush concurrently. The fingerprint is
+            // a plain DRAM store (no persist) recorded before the entry can
+            // be published through the slot array.
             leaf.write_kv(entry, key, value);
-            leaf.persist_kv(entry);
+            if self.cfg.fingerprints {
+                self.fps.set(leaf.off(), entry, fp_hash(key));
+            }
+            // §4.2's flush/work overlap, applied literally: issue the CLWB
+            // now and let the lock acquisition and slot search run while
+            // the line drains to media; the fence (`drain_kv` below) only
+            // spins out whatever latency is left. The entry is exclusively
+            // ours and never rewritten before the fence, so the durable
+            // value is well-defined (see `PmemPool::flush_async`).
+            let kv_flush = if self.cfg.async_flush {
+                Some(leaf.flush_kv_async(entry))
+            } else {
+                leaf.persist_kv(entry);
+                None
+            };
 
             leaf.lock();
 
@@ -211,6 +260,9 @@ impl RnTree {
             // (no split completes while it is undecided), so it is simply
             // wasted and counted as decided.
             if key > leaf.fence() {
+                if let Some(h) = kv_flush {
+                    leaf.drain_kv(h);
+                }
                 self.decide_and_maybe_split(leaf, false);
                 leaf.unlock(false);
                 self.wasted.fetch_add(1, Ordering::Relaxed);
@@ -226,7 +278,7 @@ impl RnTree {
             // instead — see `slot_update` for why this is faithful.
             let decision = if self.cfg.seq_traversal {
                 let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
-                match Self::edit_slot(&leaf, &mut slot, key, entry, mode) {
+                match self.edit_slot(&leaf, &mut slot, key, entry, mode) {
                     Decision::Applied(s) => {
                         leaf.write_slot_seq(WhichSlot::Persistent, &s);
                         Decision::Applied(s)
@@ -236,7 +288,7 @@ impl RnTree {
             } else {
                 self.index.domain().atomic(|txn| {
                     let mut slot = leaf.read_slot_in(txn, WhichSlot::Persistent)?;
-                    match Self::edit_slot(&leaf, &mut slot, key, entry, mode) {
+                    match self.edit_slot(&leaf, &mut slot, key, entry, mode) {
                         Decision::Applied(s) => {
                             leaf.write_slot_in(txn, WhichSlot::Persistent, &s)?;
                             Ok(Decision::Applied(s))
@@ -245,6 +297,14 @@ impl RnTree {
                     }
                 })
             };
+
+            // The fence for persistent instruction #1: the KV entry must be
+            // durable before the slot line can be (publication order). On
+            // the reject paths this is where the wasted entry's flush is
+            // accounted, exactly like the seed's synchronous persist.
+            if let Some(h) = kv_flush {
+                leaf.drain_kv(h);
+            }
 
             let applied = if let Decision::Applied(slot) = &decision {
                 // Persistent instruction #2: the slot line. Atomic thanks
@@ -297,25 +357,51 @@ impl RnTree {
     /// mode therefore must not be combined with eviction-injection crash
     /// tests, which is exactly the real-HTM hazard the transactional path
     /// exists to prevent.
-    fn edit_slot(leaf: &Leaf<'_>, slot: &mut SlotBuf, key: Key, entry: usize, mode: WriteMode) -> Decision {
-        match leaf.search(slot, key) {
+    fn edit_slot(&self, leaf: &Leaf<'_>, slot: &mut SlotBuf, key: Key, entry: usize, mode: WriteMode) -> Decision {
+        // With fingerprints the hit/miss question is answered by the probe
+        // (no key reads on a miss); the sorted insertion position is only
+        // computed when an insert actually happens. Strict inserts skip the
+        // probe: they need the binary search for the insertion point anyway,
+        // and its duplicate check rides along for free (§3.3). Without
+        // fingerprints, one binary search answers both questions, exactly as
+        // in the paper.
+        let found: Result<usize, Option<usize>> = if self.cfg.fingerprints && mode != WriteMode::InsertStrict {
+            self.fps.probe(leaf, slot, key).ok_or(None)
+        } else {
+            leaf.search(slot, key).map_err(Some)
+        };
+        match found {
             Ok(pos) => {
                 if mode == WriteMode::InsertStrict {
                     return Decision::Exists;
                 }
                 slot.set_entry(pos, entry);
             }
-            Err(pos) => {
+            Err(ins_pos) => {
                 if mode == WriteMode::UpdateStrict {
                     return Decision::Missing;
                 }
                 if slot.len() == MAX_LIVE {
                     return Decision::Overfull;
                 }
+                let pos = ins_pos.unwrap_or_else(|| match leaf.search(slot, key) {
+                    Ok(p) | Err(p) => p,
+                });
                 slot.insert_at(pos, entry);
             }
         }
         Decision::Applied(*slot)
+    }
+
+    /// Point-lookup position of `key` in `slot`: fingerprint probe when
+    /// enabled, plain binary search otherwise.
+    #[inline]
+    fn lookup_pos(&self, leaf: &Leaf<'_>, slot: &SlotBuf, key: Key) -> Option<usize> {
+        if self.cfg.fingerprints {
+            self.fps.probe(leaf, slot, key)
+        } else {
+            leaf.search(slot, key).ok()
+        }
     }
 
     /// Counts one decided log entry and runs the (possibly deferred) split
@@ -387,6 +473,9 @@ impl RnTree {
             // split), journal-protected like a real split.
             for (i, &(k, v)) in pairs.iter().enumerate() {
                 leaf.write_kv(i, k, v);
+                if self.cfg.fingerprints {
+                    self.fps.set(leaf.off(), i, fp_hash(k));
+                }
             }
             let id = SlotBuf::identity(live);
             self.index.domain().atomic(|txn| {
@@ -422,11 +511,19 @@ impl RnTree {
         // until linked; a crash before the link leaks only the block,
         // which allocator rebuild reclaims).
         right.init_from_pairs(&pairs[mid..], leaf.fence(), leaf.next());
+        if self.cfg.fingerprints {
+            for (i, &(k, _)) in pairs[mid..].iter().enumerate() {
+                self.fps.set(right_off, i, fp_hash(k));
+            }
+        }
 
         // Rewrite the left half in place, then link and persist. A crash
         // anywhere in here is undone by the journal image.
         for (i, &(k, v)) in pairs[..mid].iter().enumerate() {
             leaf.write_kv(i, k, v);
+            if self.cfg.fingerprints {
+                self.fps.set(leaf.off(), i, fp_hash(k));
+            }
         }
         let id = SlotBuf::identity(mid);
         self.index.domain().atomic(|txn| {
@@ -463,6 +560,12 @@ impl RnTree {
     fn find_impl(&self, key: Key) -> Option<Value> {
         loop {
             let leaf = Leaf::at(&self.pool, self.traverse(key));
+            // Overlap the slot-array and fingerprint-stripe misses with the
+            // header load that `stable_version` is about to issue.
+            if self.cfg.leaf_prefetch {
+                leaf.prefetch_hot(0);
+                self.fps.prefetch_stripe(leaf.off());
+            }
             // Algorithm 4: stable version before, snapshot, validate after.
             let v1 = leaf.stable_version(self.reader_waits_lock());
             if key > leaf.fence() {
@@ -470,13 +573,15 @@ impl RnTree {
                 continue; // stale route (split won the race); re-traverse
             }
             // htmLeafSnapshot: only the slot line is read transactionally;
-            // the binary search stays outside the HTM section to keep the
-            // read set (and abort probability) small (§5.2.2).
+            // the search stays outside the HTM section to keep the read set
+            // (and abort probability) small (§5.2.2). With fingerprints the
+            // search is a DRAM byte-probe that touches at most a handful of
+            // keys; validity of whatever it reads is established by the
+            // version re-check below, exactly as for the binary search.
             let kind = self.read_slot_kind();
             let slot = self.snapshot_slot(&leaf, kind);
-            let result = leaf
-                .search(&slot, key)
-                .ok()
+            let result = self
+                .lookup_pos(&leaf, &slot, key)
                 .map(|pos| leaf.read_value(slot.entry(pos)));
             if leaf.stable_version(self.reader_waits_lock()) != v1 {
                 self.note_retry();
@@ -537,6 +642,12 @@ impl RnTree {
     fn remove_impl(&self, key: Key) -> Result<(), OpError> {
         loop {
             let leaf = Leaf::at(&self.pool, self.traverse(key));
+            // Overlap the slot-array and fingerprint-stripe misses with the
+            // lock RMW on the (also likely cold) header line.
+            if self.cfg.leaf_prefetch {
+                leaf.prefetch_hot(0);
+                self.fps.prefetch_stripe(leaf.off());
+            }
             leaf.lock();
             if key > leaf.fence() {
                 leaf.unlock(false);
@@ -547,9 +658,9 @@ impl RnTree {
             // instruction.
             let removed = if self.cfg.seq_traversal {
                 let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
-                match leaf.search(&slot, key) {
-                    Err(_) => None,
-                    Ok(pos) => {
+                match self.lookup_pos(&leaf, &slot, key) {
+                    None => None,
+                    Some(pos) => {
                         slot.remove_at(pos);
                         leaf.write_slot_seq(WhichSlot::Persistent, &slot);
                         Some(slot)
@@ -558,9 +669,9 @@ impl RnTree {
             } else {
                 self.index.domain().atomic(|txn| {
                     let mut slot = leaf.read_slot_in(txn, WhichSlot::Persistent)?;
-                    match leaf.search(&slot, key) {
-                        Err(_) => Ok(None),
-                        Ok(pos) => {
+                    match self.lookup_pos(&leaf, &slot, key) {
+                        None => Ok(None),
+                        Some(pos) => {
                             slot.remove_at(pos);
                             leaf.write_slot_in(txn, WhichSlot::Persistent, &slot)?;
                             Ok(Some(slot))
@@ -633,6 +744,11 @@ impl RnTree {
                     return Err(format!("leaf {off}: key {k} above fence {}", leaf.fence()));
                 }
                 last_key = Some(k);
+                // The fingerprint table may never produce a false negative
+                // for a live key (collisions only cost extra compares).
+                if self.cfg.fingerprints && self.fps.probe(&leaf, &slot, k) != Some(pos) {
+                    return Err(format!("leaf {off}: fingerprint probe misses live key {k}"));
+                }
                 // The volatile index must route this key here.
                 let routed = self.index.traverse_seq(k);
                 if routed != off {

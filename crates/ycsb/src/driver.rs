@@ -17,8 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use index_common::PersistentIndex;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use nvm::SplitMix64;
 
 use crate::hist::Histogram;
 use crate::workload::{OpKind, WorkloadSpec};
@@ -105,7 +104,7 @@ pub fn run_closed_loop(
                 let keygen = keygen.clone();
                 let fresh = &fresh;
                 scope.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B9));
+                    let mut rng = SplitMix64::new(seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B9));
                     let mut out = WorkerOut {
                         ops: 0,
                         read: Histogram::new(),
@@ -164,7 +163,7 @@ pub fn run_open_loop(
                 let keygen = keygen.clone();
                 let fresh = &fresh;
                 scope.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed ^ (tid as u64 + 1).wrapping_mul(0x517C_C1B7));
+                    let mut rng = SplitMix64::new(seed ^ (tid as u64 + 1).wrapping_mul(0x517C_C1B7));
                     let mut out = WorkerOut {
                         ops: 0,
                         read: Histogram::new(),

@@ -11,7 +11,7 @@
 //! Generated keys are in `1..=n` (0 is reserved as a null sentinel by the
 //! trees' pool layout conventions).
 
-use rand::Rng;
+use nvm::SplitMix64;
 
 /// A key distribution over the key space `1..=n`.
 #[derive(Debug, Clone)]
@@ -73,9 +73,9 @@ pub enum KeyGen {
 impl KeyGen {
     /// Draws the next key in `1..=n`.
     #[inline]
-    pub fn next_key<R: Rng>(&self, rng: &mut R) -> u64 {
+    pub fn next_key(&self, rng: &mut SplitMix64) -> u64 {
         match self {
-            KeyGen::Uniform { n } => rng.gen_range(1..=*n),
+            KeyGen::Uniform { n } => rng.next_key(*n),
             KeyGen::Zipfian(z) => z.sample(rng),
         }
     }
@@ -112,8 +112,8 @@ impl Zipf {
 
     /// Draws a key.
     #[inline]
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u: f64 = rng.next_f64();
         let uz = u * self.zetan;
         let rank = if uz < 1.0 {
             1
@@ -155,13 +155,11 @@ fn fnv64(mut v: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_covers_space() {
         let g = KeyDist::Uniform { n: 100 }.build();
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..10_000 {
             let k = g.next_key(&mut rng);
@@ -174,7 +172,7 @@ mod tests {
     #[test]
     fn zipfian_is_skewed_toward_low_ranks() {
         let g = KeyDist::Zipfian { n: 10_000, theta: 0.99 }.build();
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = SplitMix64::new(2);
         let mut top10 = 0;
         let total = 50_000;
         for _ in 0..total {
@@ -194,7 +192,7 @@ mod tests {
         let mut shares = Vec::new();
         for theta in [0.5, 0.8, 0.99] {
             let g = KeyDist::Zipfian { n: 10_000, theta }.build();
-            let mut rng = SmallRng::seed_from_u64(3);
+            let mut rng = SplitMix64::new(3);
             let mut top100 = 0;
             for _ in 0..30_000 {
                 if g.next_key(&mut rng) <= 100 {
@@ -209,7 +207,7 @@ mod tests {
     #[test]
     fn scrambled_zipfian_spreads_hot_keys() {
         let g = KeyDist::ScrambledZipfian { n: 10_000, theta: 0.9 }.build();
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = SplitMix64::new(4);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..50_000 {
             let k = g.next_key(&mut rng);
@@ -230,7 +228,7 @@ mod tests {
     fn zipfian_keys_stay_in_range() {
         for theta in [0.0, 0.5, 0.99] {
             let g = KeyDist::Zipfian { n: 7, theta }.build();
-            let mut rng = SmallRng::seed_from_u64(5);
+            let mut rng = SplitMix64::new(5);
             for _ in 0..5_000 {
                 let k = g.next_key(&mut rng);
                 assert!((1..=7).contains(&k), "theta={theta} k={k}");

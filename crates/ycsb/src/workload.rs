@@ -1,6 +1,6 @@
 //! Operation mixes and workload specifications.
 
-use rand::Rng;
+use nvm::SplitMix64;
 
 use crate::keygen::{KeyDist, KeyGen};
 
@@ -40,10 +40,10 @@ impl Mix {
     }
 
     /// Draws an operation kind.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> OpKind {
+    pub fn sample(&self, rng: &mut SplitMix64) -> OpKind {
         let t = self.total();
         debug_assert!(t > 0, "empty mix");
-        let mut x = rng.gen_range(0..t);
+        let mut x = rng.next_below(t as u64) as u32;
         for (w, k) in [
             (self.read, OpKind::Read),
             (self.update, OpKind::Update),
@@ -159,8 +159,6 @@ impl WorkloadSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn mix_respects_weights() {
@@ -169,7 +167,7 @@ mod tests {
             update: 10,
             ..Default::default()
         };
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let mut reads = 0;
         let n = 20_000;
         for _ in 0..n {
@@ -202,7 +200,7 @@ mod tests {
             remove: 1,
             scan: 1,
         };
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..1_000 {
             seen.insert(format!("{:?}", mix.sample(&mut rng)));

@@ -6,8 +6,7 @@ use std::sync::Arc;
 
 use baselines::{CddsTree, FpTree, NvTree, WbTree, WbVariant};
 use index_common::{OpError, PersistentIndex};
-use nvm::{PmemConfig, PmemPool};
-use proptest::prelude::*;
+use nvm::{PmemConfig, PmemPool, SplitMix64};
 
 fn pool() -> Arc<PmemPool> {
     Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 24)))
@@ -23,16 +22,33 @@ enum Op {
     Scan(u64, usize),
 }
 
-fn op_strategy(key_max: u64) -> impl Strategy<Value = Op> {
-    let key = 1..=key_max;
-    prop_oneof![
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
-        key.clone().prop_map(Op::Remove),
-        key.clone().prop_map(Op::Find),
-        (key, 0..15usize).prop_map(|(k, n)| Op::Scan(k, n)),
-    ]
+/// Deterministic randomized op sequence (replaces the proptest strategy so
+/// the workspace tests run with zero external deps).
+fn gen_ops(rng: &mut SplitMix64, key_max: u64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let k = rng.next_key(key_max);
+            match rng.next_below(6) {
+                0 => Op::Insert(k, rng.next_u64()),
+                1 => Op::Update(k, rng.next_u64()),
+                2 => Op::Upsert(k, rng.next_u64()),
+                3 => Op::Remove(k),
+                4 => Op::Find(k),
+                _ => Op::Scan(k, rng.next_below(15) as usize),
+            }
+        })
+        .collect()
+}
+
+/// Runs 16 deterministic model-check cases (ops over a 200-key space),
+/// invoking `run` with each generated sequence.
+fn run_model_cases(seed: u64, run: &dyn Fn(&[Op])) {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0x9E37_79B9));
+        let len = 1 + rng.next_below(299) as usize;
+        let ops = gen_ops(&mut rng, 200, len);
+        run(&ops);
+    }
 }
 
 /// Conditional-semantics model check (trees that enforce uniqueness).
@@ -112,50 +128,58 @@ fn check_upsert_only(tree: &dyn PersistentIndex, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn wbtree_full_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+#[test]
+fn wbtree_full_matches_model() {
+    run_model_cases(0xB1, &|ops| {
         let tree = WbTree::create(pool(), WbVariant::Full, false);
-        check_conditional(&tree, &ops);
+        check_conditional(&tree, ops);
         tree.verify_invariants().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn wbtree_so_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+#[test]
+fn wbtree_so_matches_model() {
+    run_model_cases(0xB2, &|ops| {
         let tree = WbTree::create(pool(), WbVariant::SmallSlot, false);
-        check_conditional(&tree, &ops);
+        check_conditional(&tree, ops);
         tree.verify_invariants().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn fptree_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+#[test]
+fn fptree_matches_model() {
+    run_model_cases(0xB3, &|ops| {
         let tree = FpTree::create(pool(), false);
-        check_conditional(&tree, &ops);
+        check_conditional(&tree, ops);
         tree.verify_invariants().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn cdds_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+#[test]
+fn cdds_matches_model() {
+    run_model_cases(0xB4, &|ops| {
         let tree = CddsTree::create(pool(), false);
-        check_conditional(&tree, &ops);
+        check_conditional(&tree, ops);
         tree.verify_invariants().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn nvtree_conditional_matches_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+#[test]
+fn nvtree_conditional_matches_model() {
+    run_model_cases(0xB5, &|ops| {
         let tree = NvTree::new_conditional(pool(), false);
-        check_conditional(&tree, &ops);
+        check_conditional(&tree, ops);
         tree.verify_invariants().unwrap();
-    }
+    });
+}
 
-    #[test]
-    fn nvtree_plain_matches_upsert_model(ops in proptest::collection::vec(op_strategy(200), 1..300)) {
+#[test]
+fn nvtree_plain_matches_upsert_model() {
+    run_model_cases(0xB6, &|ops| {
         let tree = NvTree::create(pool(), false);
-        check_upsert_only(&tree, &ops);
+        check_upsert_only(&tree, ops);
         tree.verify_invariants().unwrap();
-    }
+    });
 }
 
 /// Table 1 contract: steady-state persist counts per modify, as an

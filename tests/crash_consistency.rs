@@ -16,8 +16,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use index_common::PersistentIndex;
-use nvm::{PmemConfig, PmemPool};
-use proptest::prelude::*;
+use nvm::{PmemConfig, PmemPool, SplitMix64};
 use rntree::{RnConfig, RnTree};
 
 #[derive(Debug, Clone)]
@@ -28,14 +27,20 @@ enum Op {
     Evict(u8),
 }
 
-fn op_strategy(key_max: u64) -> impl Strategy<Value = Op> {
-    let key = 1..=key_max;
-    prop_oneof![
-        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
-        2 => key.prop_map(Op::Remove),
-        1 => any::<u8>().prop_map(Op::Evict),
-    ]
+/// Deterministic randomized op sequence with the same 4:4:2:1 weighting the
+/// original proptest strategy used.
+fn gen_ops(rng: &mut SplitMix64, key_max: u64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let k = rng.next_key(key_max);
+            match rng.next_below(11) {
+                0..=3 => Op::Insert(k, rng.next_u64()),
+                4..=7 => Op::Upsert(k, rng.next_u64()),
+                8..=9 => Op::Remove(k),
+                _ => Op::Evict(rng.next_u64() as u8),
+            }
+        })
+        .collect()
 }
 
 fn run_crash_round(ops: &[Op], dual: bool, crash_at: usize) {
@@ -92,26 +97,24 @@ fn run_crash_round(ops: &[Op], dual: bool, crash_at: usize) {
     tree.verify_invariants().unwrap();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
-
-    #[test]
-    fn acked_ops_survive_crash_ds(
-        ops in proptest::collection::vec(op_strategy(150), 1..500),
-        frac in 0.0f64..1.0,
-    ) {
-        let crash_at = ((ops.len() as f64) * frac) as usize;
-        run_crash_round(&ops, true, crash_at);
+fn run_crash_cases(seed: u64, dual: bool) {
+    for case in 0..20u64 {
+        let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0x517C_C1B7));
+        let len = 1 + rng.next_below(499) as usize;
+        let ops = gen_ops(&mut rng, 150, len);
+        let crash_at = ((ops.len() as f64) * rng.next_f64()) as usize;
+        run_crash_round(&ops, dual, crash_at);
     }
+}
 
-    #[test]
-    fn acked_ops_survive_crash_single_slot(
-        ops in proptest::collection::vec(op_strategy(150), 1..500),
-        frac in 0.0f64..1.0,
-    ) {
-        let crash_at = ((ops.len() as f64) * frac) as usize;
-        run_crash_round(&ops, false, crash_at);
-    }
+#[test]
+fn acked_ops_survive_crash_ds() {
+    run_crash_cases(0xCA5D, true);
+}
+
+#[test]
+fn acked_ops_survive_crash_single_slot() {
+    run_crash_cases(0xCA51, false);
 }
 
 /// The classic wB+Tree-motivating scenario: an in-flight (never

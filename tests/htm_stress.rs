@@ -3,10 +3,52 @@
 //! transactional / non-transactional access — the access patterns the
 //! trees rely on, distilled.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use htm::{HtmDomain, RetryPolicy, TmWord, TxnOptions};
+
+// ------------------------------------------------------------------------
+// Counting allocator: lets tests assert that a code path performs zero
+// heap allocations. The counter is thread-local, so concurrently running
+// tests in this binary cannot disturb each other's counts. `Cell<u64>` has
+// no destructor and const-init, so reading it never allocates itself.
+
+struct CountingAlloc;
+
+std::thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Bank-transfer invariant: concurrent transfers between random accounts
 /// must preserve the total, and no reader may ever observe a different
@@ -240,5 +282,148 @@ fn pmem_resident_words_are_transactional() {
     pool.simulate_crash();
     for &o in &offs {
         assert_eq!(pool.load_u64(o), 6_000);
+    }
+}
+
+/// High-iteration hammer on the weakened (Acquire/Release) lock-table and
+/// clock orderings: 4 writer threads increment 16 words in lockstep while
+/// 2 reader threads take transactional snapshots. Any missing publication
+/// edge shows up as a torn (non-uniform) snapshot; any missing exclusion
+/// edge shows up as a lost increment in the exact final total.
+#[test]
+fn weakened_orderings_survive_concurrent_increments_and_snapshots() {
+    const WRITERS: usize = 4;
+    const ITERS: u64 = 15_000;
+    const WORDS: usize = 16;
+    let domain = Arc::new(HtmDomain::new());
+    let words: Arc<Vec<TmWord>> = Arc::new((0..WORDS).map(|_| TmWord::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let domain = Arc::clone(&domain);
+        let words = Arc::clone(&words);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut last = 0u64;
+            let mut snapshots = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let vals = domain.atomic(|txn| {
+                    let mut v = [0u64; WORDS];
+                    for (slot, w) in v.iter_mut().zip(words.iter()) {
+                        *slot = txn.read(w)?;
+                    }
+                    Ok(v)
+                });
+                // Publication edge: a snapshot is all-or-nothing.
+                assert!(
+                    vals.iter().all(|&v| v == vals[0]),
+                    "torn snapshot: {vals:?}"
+                );
+                // Committed history is monotone from any one observer.
+                assert!(vals[0] >= last, "snapshot went backwards");
+                last = vals[0];
+                snapshots += 1;
+            }
+            snapshots
+        }));
+    }
+
+    let mut writers = Vec::new();
+    for _ in 0..WRITERS {
+        let domain = Arc::clone(&domain);
+        let words = Arc::clone(&words);
+        writers.push(std::thread::spawn(move || {
+            for _ in 0..ITERS {
+                domain.atomic(|txn| {
+                    for w in words.iter() {
+                        let v = txn.read(w)?;
+                        txn.write(w, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(snapshots > 0);
+    // Exclusion edge: every increment must have landed exactly once.
+    for w in words.iter() {
+        assert_eq!(w.load_direct(), WRITERS as u64 * ITERS, "lost increment");
+    }
+}
+
+/// Small transactions (within the inline read/write-set capacity) must not
+/// touch the heap at all: the read set, write set, line sets, and commit's
+/// acquired-locks set all live on the stack.
+#[test]
+fn small_transactions_do_not_heap_allocate() {
+    let domain = HtmDomain::new();
+    let words: Vec<TmWord> = (0..8).map(TmWord::new).collect();
+    // Warm up: first use faults in the global lock table and any lazy
+    // thread-local state.
+    for _ in 0..8 {
+        domain.atomic(|txn| {
+            let v = txn.read(&words[0])?;
+            txn.write(&words[0], v)
+        });
+    }
+    let before = thread_allocs();
+    for round in 0..1_000u64 {
+        let sum = domain.atomic(|txn| {
+            let mut s = 0u64;
+            for w in words.iter() {
+                s += txn.read(w)?;
+            }
+            for w in words.iter().take(4) {
+                let v = txn.read(w)?;
+                txn.write(w, v + 1)?;
+            }
+            Ok(s)
+        });
+        std::hint::black_box((sum, round));
+    }
+    assert_eq!(
+        thread_allocs() - before,
+        0,
+        "small transactions hit the heap"
+    );
+}
+
+/// Oversized transactions spill to the per-thread scratch arena, which
+/// recycles its buffers: after the first (allocating) spill, steady-state
+/// large transactions are also allocation-free.
+#[test]
+fn spilled_transactions_recycle_scratch_buffers() {
+    let domain = HtmDomain::new();
+    let words: Vec<TmWord> = (0..64).map(TmWord::new).collect();
+    let touch_all = |domain: &HtmDomain| {
+        domain.atomic(|txn| {
+            for w in words.iter() {
+                let v = txn.read(w)?;
+                txn.write(w, v + 1)?;
+            }
+            Ok(())
+        });
+    };
+    // First spill allocates the scratch buffers and grows them to size.
+    for _ in 0..4 {
+        touch_all(&domain);
+    }
+    let before = thread_allocs();
+    for _ in 0..200 {
+        touch_all(&domain);
+    }
+    assert_eq!(
+        thread_allocs() - before,
+        0,
+        "steady-state spilled transactions hit the heap"
+    );
+    for (i, w) in words.iter().enumerate() {
+        assert_eq!(w.load_direct(), i as u64 + 204);
     }
 }

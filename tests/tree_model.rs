@@ -5,8 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use index_common::{OpError, PersistentIndex};
-use nvm::{PmemConfig, PmemPool};
-use proptest::prelude::*;
+use nvm::{PmemConfig, PmemPool, SplitMix64};
 use rntree::{RnConfig, RnTree};
 
 #[derive(Debug, Clone)]
@@ -19,16 +18,22 @@ enum Op {
     Scan(u64, usize),
 }
 
-fn op_strategy(key_max: u64) -> impl Strategy<Value = Op> {
-    let key = 1..=key_max;
-    prop_oneof![
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
-        key.clone().prop_map(Op::Remove),
-        key.clone().prop_map(Op::Find),
-        (key, 0..20usize).prop_map(|(k, n)| Op::Scan(k, n)),
-    ]
+/// Deterministic randomized op sequence (replaces the proptest strategy so
+/// the workspace tests run with zero external deps).
+fn gen_ops(rng: &mut SplitMix64, key_max: u64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let k = rng.next_key(key_max);
+            match rng.next_below(6) {
+                0 => Op::Insert(k, rng.next_u64()),
+                1 => Op::Update(k, rng.next_u64()),
+                2 => Op::Upsert(k, rng.next_u64()),
+                3 => Op::Remove(k),
+                4 => Op::Find(k),
+                _ => Op::Scan(k, rng.next_below(20) as usize),
+            }
+        })
+        .collect()
 }
 
 fn check_against_model(tree: &dyn PersistentIndex, ops: &[Op]) {
@@ -91,42 +96,42 @@ fn new_tree(dual: bool, seq: bool) -> RnTree {
             dual_slot: dual,
             seq_traversal: seq,
             journal_slots: 4,
+            ..RnConfig::default()
         },
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn rntree_ds_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
-        let tree = new_tree(true, false);
+fn run_cases(cases: u64, seed: u64, key_max: u64, max_len: usize, mk: impl Fn() -> RnTree) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0x9E37_79B9));
+        let len = 1 + rng.next_below(max_len as u64 - 1) as usize;
+        let ops = gen_ops(&mut rng, key_max, len);
+        let tree = mk();
         check_against_model(&tree, &ops);
         tree.verify_invariants().unwrap();
     }
+}
 
-    #[test]
-    fn rntree_single_slot_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
-        let tree = new_tree(false, false);
-        check_against_model(&tree, &ops);
-        tree.verify_invariants().unwrap();
-    }
+#[test]
+fn rntree_ds_matches_model() {
+    run_cases(24, 0xD5, 300, 400, || new_tree(true, false));
+}
 
-    #[test]
-    fn rntree_seq_mode_matches_model(ops in proptest::collection::vec(op_strategy(300), 1..400)) {
-        let tree = new_tree(true, true);
-        check_against_model(&tree, &ops);
-        tree.verify_invariants().unwrap();
-    }
+#[test]
+fn rntree_single_slot_matches_model() {
+    run_cases(24, 0x51, 300, 400, || new_tree(false, false));
+}
 
-    #[test]
-    fn dense_small_keyspace_churn(ops in proptest::collection::vec(op_strategy(20), 1..600)) {
-        // A 20-key space forces heavy log churn, compactions and
-        // obsolete-entry recycling within a single leaf.
-        let tree = new_tree(true, false);
-        check_against_model(&tree, &ops);
-        tree.verify_invariants().unwrap();
-        }
+#[test]
+fn rntree_seq_mode_matches_model() {
+    run_cases(24, 0x5E, 300, 400, || new_tree(true, true));
+}
+
+#[test]
+fn dense_small_keyspace_churn() {
+    // A 20-key space forces heavy log churn, compactions and
+    // obsolete-entry recycling within a single leaf.
+    run_cases(24, 0xDE, 20, 600, || new_tree(true, false));
 }
 
 #[test]
