@@ -118,6 +118,19 @@ impl CddsTree {
         CddsTree { s }
     }
 
+    /// Recovers a CDDS B-Tree from a crashed pool: journal replay (splits)
+    /// plus a chain scan. Leaves are sorted arrays with a persisted count
+    /// and no volatile scratch, so the per-leaf work is reading the last
+    /// entry's key.
+    pub fn recover(pool: Arc<PmemPool>, seq_traversal: bool) -> CddsTree {
+        let s = Substrate::reopen(pool, BLOCK, MAGIC, seq_traversal, |pool, off| {
+            let leaf = CdLeaf::at(pool, off);
+            let n = leaf.count();
+            ((n > 0).then(|| leaf.key(n - 1)), leaf.next())
+        });
+        CddsTree { s }
+    }
+
     fn leaf(&self, off: u64) -> CdLeaf<'_> {
         CdLeaf::at(&self.s.pool, off)
     }
@@ -271,7 +284,21 @@ impl PersistentIndex for CddsTree {
             leaves,
             entries,
             splits: self.s.splits.load(Ordering::Relaxed),
+            ..TreeStats::default()
         }
+    }
+}
+
+impl index_common::RecoverableIndex for CddsTree {
+    /// `seq_traversal`: single-threaded benchmark mode.
+    type Config = bool;
+
+    fn create(pool: Arc<PmemPool>, seq_traversal: bool) -> Self {
+        CddsTree::create(pool, seq_traversal)
+    }
+
+    fn recover(pool: Arc<PmemPool>, seq_traversal: bool) -> Self {
+        CddsTree::recover(pool, seq_traversal)
     }
 }
 

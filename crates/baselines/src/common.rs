@@ -64,6 +64,60 @@ impl Substrate {
         }
     }
 
+    /// Reopens a formatted pool after a crash (or clean restart — baseline
+    /// layouts do not distinguish the two): verifies the magic, replays the
+    /// undo journal so any leaf caught mid-split is rolled back whole, then
+    /// walks the persistent leaf chain from root slot 0 rebuilding the
+    /// volatile index and the allocator's free list — the same §5.4-style
+    /// rebuild RNTree uses, parameterised by the per-tree leaf format.
+    ///
+    /// `scan_leaf` reads the leaf at the given offset and returns its
+    /// maximum live key (`None` when empty) and its next-leaf offset; it
+    /// also performs any per-tree scratch reset (clearing a lock word,
+    /// re-validating a slot-state bit).
+    pub(crate) fn reopen(
+        pool: Arc<PmemPool>,
+        block: u64,
+        magic: u64,
+        seq: bool,
+        mut scan_leaf: impl FnMut(&PmemPool, u64) -> (Option<Key>, u64),
+    ) -> Substrate {
+        assert_eq!(RootTable::get(&pool, roots::MAGIC), magic, "pool does not hold this tree type");
+        let region = RootTable::END;
+        let journal = UndoJournal::new(region, JOURNAL_SLOTS, block);
+        journal.recover(&pool);
+        let leaf_region = region + UndoJournal::region_bytes(JOURNAL_SLOTS, block);
+        let alloc = BlockAllocator::new(leaf_region, pool.len(), block);
+        let leftmost = RootTable::get(&pool, roots::LEFTMOST);
+        assert_ne!(leftmost, 0, "formatted pool must have a leftmost leaf");
+        let mut reachable = Vec::new();
+        let mut pairs: Vec<(Key, u64)> = Vec::new();
+        let mut off = leftmost;
+        while off != 0 {
+            reachable.push(off);
+            let (max_key, next) = scan_leaf(&pool, off);
+            if let Some(k) = max_key {
+                pairs.push((k, leaf_ref(off)));
+            }
+            off = next;
+        }
+        alloc.rebuild(&reachable);
+        let index = InnerIndex::new(leaf_ref(leftmost));
+        if !pairs.is_empty() {
+            index.bulk_build(&pairs);
+        }
+        Substrate {
+            pool,
+            alloc,
+            journal,
+            index,
+            leftmost,
+            seq,
+            splits: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
     /// Dispatches traversal per the configured mode.
     #[inline]
     pub(crate) fn traverse(&self, key: Key) -> u64 {

@@ -166,6 +166,20 @@ impl FpTree {
         FpTree { s }
     }
 
+    /// Recovers an FPTree from a crashed pool. FPTree leaves are fully
+    /// persistent (bitmap, fingerprints and KV entries are flushed per
+    /// operation; splits are undo-journaled), so recovery is journal replay
+    /// plus a chain scan; the only per-leaf scratch is the lock word, which
+    /// is cleared — a crashed holder's lock must not outlive it.
+    pub fn recover(pool: Arc<PmemPool>, seq_traversal: bool) -> FpTree {
+        let s = Substrate::reopen(pool, BLOCK, MAGIC, seq_traversal, |pool, off| {
+            pool.store_u64(off + F_LOCK, 0);
+            let leaf = FpLeaf::at(pool, off);
+            (leaf.live_pairs_sorted().last().map(|p| p.0), leaf.next())
+        });
+        FpTree { s }
+    }
+
     fn leaf(&self, off: u64) -> FpLeaf<'_> {
         FpLeaf::at(&self.s.pool, off)
     }
@@ -442,7 +456,21 @@ impl PersistentIndex for FpTree {
             leaves,
             entries,
             splits: self.s.splits.load(Ordering::Relaxed),
+            ..TreeStats::default()
         }
+    }
+}
+
+impl index_common::RecoverableIndex for FpTree {
+    /// `seq_traversal`: single-threaded benchmark mode.
+    type Config = bool;
+
+    fn create(pool: Arc<PmemPool>, seq_traversal: bool) -> Self {
+        FpTree::create(pool, seq_traversal)
+    }
+
+    fn recover(pool: Arc<PmemPool>, seq_traversal: bool) -> Self {
+        FpTree::recover(pool, seq_traversal)
     }
 }
 

@@ -172,6 +172,20 @@ impl NvTree {
         NvTree { s, conditional }
     }
 
+    /// Recovers an NVTree from a crashed pool. The append-only log leaves
+    /// persist `nelems` with every appended entry and splits are
+    /// undo-journaled, so recovery is journal replay plus a chain scan —
+    /// the log-structured entries need no scratch reset at all (obsolete
+    /// log records are skipped by `live_pairs`, exactly as during normal
+    /// reads).
+    pub fn recover(pool: Arc<PmemPool>, seq_traversal: bool, conditional: bool) -> NvTree {
+        let s = Substrate::reopen(pool, BLOCK, MAGIC, seq_traversal, |pool, off| {
+            let leaf = NvLeaf::at(pool, off);
+            (leaf.live_pairs().last().map(|p| p.0), leaf.next())
+        });
+        NvTree { s, conditional }
+    }
+
     /// Whether conditional-write mode is on.
     pub fn is_conditional(&self) -> bool {
         self.conditional
@@ -334,7 +348,26 @@ impl PersistentIndex for NvTree {
             leaves,
             entries,
             splits: self.s.splits.load(Ordering::Relaxed),
+            ..TreeStats::default()
         }
+    }
+}
+
+impl index_common::RecoverableIndex for NvTree {
+    /// `(seq_traversal, conditional)`: single-threaded benchmark mode and
+    /// conditional-write support (Figure 5's variant).
+    type Config = (bool, bool);
+
+    fn create(pool: Arc<PmemPool>, (seq, conditional): (bool, bool)) -> Self {
+        if conditional {
+            NvTree::new_conditional(pool, seq)
+        } else {
+            NvTree::create(pool, seq)
+        }
+    }
+
+    fn recover(pool: Arc<PmemPool>, (seq, conditional): (bool, bool)) -> Self {
+        NvTree::recover(pool, seq, conditional)
     }
 }
 

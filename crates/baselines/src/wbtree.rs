@@ -269,6 +269,30 @@ impl WbTree {
         WbTree { s, v: variant }
     }
 
+    /// Recovers a wB+Tree from a crashed pool: journal replay (splits) plus
+    /// a chain scan. Per-leaf scratch reset: in the `Full` variant the
+    /// slot-array line is exactly one cache line, so its flush is atomic —
+    /// at a crash the persisted slot words are entirely pre- or post-op,
+    /// both consistent — and a durable `valid == 0` only means the
+    /// in-flight op was not acknowledged; recovery re-validates the words
+    /// as found. `nlogs` is recomputed as max referenced KV slot + 1 so
+    /// unpublished (unacknowledged) entries become reusable.
+    pub fn recover(pool: Arc<PmemPool>, variant: WbVariant, seq_traversal: bool) -> WbTree {
+        let s = Substrate::reopen(pool, variant.block(), variant.magic(), seq_traversal, |pool, off| {
+            let leaf = WbLeaf::at(pool, off, variant);
+            if variant == WbVariant::Full {
+                pool.store_u64(off + F_VALID, 1);
+                pool.persist(off + F_VALID, 8);
+            }
+            let slots = leaf.read_slots();
+            let nlogs = slots.order.iter().map(|&e| e as u64 + 1).max().unwrap_or(0);
+            leaf.set_nlogs(nlogs);
+            pool.persist(off + F_NLOGS, 8);
+            (leaf.pairs(&slots).last().map(|p| p.0), leaf.next())
+        });
+        WbTree { s, v: variant }
+    }
+
     /// The variant this tree was built as.
     pub fn variant(&self) -> WbVariant {
         self.v
@@ -434,7 +458,21 @@ impl PersistentIndex for WbTree {
             leaves,
             entries,
             splits: self.s.splits.load(Ordering::Relaxed),
+            ..TreeStats::default()
         }
+    }
+}
+
+impl index_common::RecoverableIndex for WbTree {
+    /// `(variant, seq_traversal)`.
+    type Config = (WbVariant, bool);
+
+    fn create(pool: Arc<PmemPool>, (variant, seq): (WbVariant, bool)) -> Self {
+        WbTree::create(pool, variant, seq)
+    }
+
+    fn recover(pool: Arc<PmemPool>, (variant, seq): (WbVariant, bool)) -> Self {
+        WbTree::recover(pool, variant, seq)
     }
 }
 

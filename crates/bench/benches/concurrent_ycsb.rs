@@ -42,7 +42,7 @@ fn main() {
         group(&format!("ycsb_a_{label}_{THREADS}thr"));
         for kind in TreeKind::CONCURRENT {
             let pool = pool_for(kind, WARM, 0, PmemConfig::for_benchmarks(0));
-            let tree: Arc<dyn index_common::PersistentIndex> = Arc::from(build_tree(kind, pool, false));
+            let tree: Arc<dyn index_common::PersistentIndex> = build_tree(kind, pool, false);
             warm(&*tree, WARM, 1);
             let mut seed = 0u64;
             bench(&format!("ycsb_a_{label}_{THREADS}thr/{kind:?}"), || {

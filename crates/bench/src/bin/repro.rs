@@ -7,7 +7,9 @@
 //!
 //! Subcommands: `table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablation all`,
 //! plus `bench-json` (machine-readable single-thread before/after numbers
-//! for the hot-path work, written to `BENCH_PR1.json` or `--out PATH`).
+//! for the hot-path work, written to `BENCH_PR1.json` or `--out PATH`) and
+//! `shard-scale` (sharded-substrate throughput/recovery sweep, written to
+//! `BENCH_PR2.json` or `--out PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
 //! `--out PATH`.
@@ -19,7 +21,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH]"
     );
@@ -33,7 +35,8 @@ fn main() {
     }
     let cmd = args[0].clone();
     let mut scale = Scale::default();
-    let mut out_path = String::from("BENCH_PR1.json");
+    let mut out_path =
+        String::from(if cmd == "shard-scale" { "BENCH_PR2.json" } else { "BENCH_PR1.json" });
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,6 +106,7 @@ fn main() {
         "ablation" => experiments::ablation_latency(&scale),
         "breakdown" => experiments::breakdown(&scale),
         "bench-json" => bench::prbench::bench_json(&scale, &out_path),
+        "shard-scale" => bench::shardbench::shard_scale(&scale, &out_path),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

@@ -31,7 +31,7 @@ fn count_loop(mut f: impl FnMut(u64), n: u64) -> f64 {
     n as f64 / start.elapsed().as_secs_f64()
 }
 
-fn fresh_warmed(kind: TreeKind, scale: &Scale, extra: u64, seq: bool) -> Box<dyn PersistentIndex> {
+fn fresh_warmed(kind: TreeKind, scale: &Scale, extra: u64, seq: bool) -> Arc<dyn PersistentIndex> {
     let pool = pool_for(kind, scale.warm_n, extra, scale.bench_pool_cfg());
     let tree = build_tree(kind, pool, seq);
     warm(&*tree, scale.warm_n, scale.seed);
@@ -391,7 +391,7 @@ pub fn fig8(scale: &Scale) {
             let mut row = vec![format!("{:?}", kind)];
             let mut last_stats = String::new();
             for &threads in &scale.threads {
-                let r = run_closed_loop(&*tree, &spec, threads, scale.duration, scale.seed);
+                let r = run_closed_loop(&tree, &spec, threads, scale.duration, scale.seed);
                 row.push(fmt_tput(r.throughput()));
                 last_stats = tree
                     .htm_abort_ratio()
@@ -425,7 +425,7 @@ pub fn fig9(scale: &Scale) {
         println!("### {:?}\n", kind);
         let mut t = Table::new(&["rate/worker", "read mean", "read p99", "update mean", "update p99", "achieved ops/s"]);
         for &rate in &rates {
-            let r = run_open_loop(&*tree, &spec, scale.latency_workers, rate, scale.duration, scale.seed);
+            let r = run_open_loop(&tree, &spec, scale.latency_workers, rate, scale.duration, scale.seed);
             t.row(vec![
                 format!("{rate:.0}/s"),
                 fmt_ns(r.read_lat.mean() as u64),
@@ -464,7 +464,7 @@ pub fn fig10(scale: &Scale) {
                 n: scale.warm_n,
                 theta,
             });
-            let r = run_closed_loop(&*tree, &spec, threads, scale.duration, scale.seed);
+            let r = run_closed_loop(&tree, &spec, threads, scale.duration, scale.seed);
             tputs.push(r.throughput());
             row.push(fmt_tput(r.throughput()));
         }

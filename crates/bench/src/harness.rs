@@ -81,15 +81,15 @@ pub fn pool_for(kind: TreeKind, n: u64, extra: u64, cfg_base: PmemConfig) -> Arc
 /// Builds a tree of the given kind on `pool`. `seq` selects the
 /// sequential-traversal single-thread path (used by every tree equally in
 /// the single-thread experiments, as in the paper).
-pub fn build_tree(kind: TreeKind, pool: Arc<PmemPool>, seq: bool) -> Box<dyn PersistentIndex> {
+pub fn build_tree(kind: TreeKind, pool: Arc<PmemPool>, seq: bool) -> Arc<dyn PersistentIndex> {
     match kind {
-        TreeKind::Cdds => Box::new(CddsTree::create(pool, seq)),
-        TreeKind::NvTree => Box::new(NvTree::create(pool, seq)),
-        TreeKind::NvTreeCond => Box::new(NvTree::new_conditional(pool, seq)),
-        TreeKind::WbTree => Box::new(WbTree::create(pool, WbVariant::Full, seq)),
-        TreeKind::WbTreeSo => Box::new(WbTree::create(pool, WbVariant::SmallSlot, seq)),
-        TreeKind::FpTree => Box::new(FpTree::create(pool, seq)),
-        TreeKind::RnTree => Box::new(RnTree::create(
+        TreeKind::Cdds => Arc::new(CddsTree::create(pool, seq)),
+        TreeKind::NvTree => Arc::new(NvTree::create(pool, seq)),
+        TreeKind::NvTreeCond => Arc::new(NvTree::new_conditional(pool, seq)),
+        TreeKind::WbTree => Arc::new(WbTree::create(pool, WbVariant::Full, seq)),
+        TreeKind::WbTreeSo => Arc::new(WbTree::create(pool, WbVariant::SmallSlot, seq)),
+        TreeKind::FpTree => Arc::new(FpTree::create(pool, seq)),
+        TreeKind::RnTree => Arc::new(RnTree::create(
             pool,
             RnConfig {
                 dual_slot: false,
@@ -97,7 +97,7 @@ pub fn build_tree(kind: TreeKind, pool: Arc<PmemPool>, seq: bool) -> Box<dyn Per
                 ..RnConfig::default()
             },
         )),
-        TreeKind::RnTreeDs => Box::new(RnTree::create(
+        TreeKind::RnTreeDs => Arc::new(RnTree::create(
             pool,
             RnConfig {
                 dual_slot: true,

@@ -27,5 +27,6 @@ pub mod harness;
 pub mod microbench;
 pub mod prbench;
 pub mod report;
+pub mod shardbench;
 
 pub use harness::{build_tree, pool_for, warm, Scale, TreeKind};

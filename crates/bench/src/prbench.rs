@@ -8,7 +8,7 @@
 //! (`RnConfig::fingerprints/leaf_prefetch/async_flush = false`, restoring
 //! the plain binary-search leaf lookup with a synchronous flush-then-lock
 //! modify sequence) and switches the quiescent descent back to the seed's
-//! (`index_common::set_legacy_seq_descent`) — i.e. the seed's
+//! (`RnConfig::legacy_seq_descent`, a per-tree flag) — i.e. the seed's
 //! single-thread hot path; **after** is the current default. The STM
 //! small-set changes are not part of the delta (the single-thread
 //! benchmarks bypass the STM entirely); the baselines are reported once
@@ -17,6 +17,7 @@
 //! The workloads are the same deterministic loops as Figure 4, so numbers
 //! here are directly comparable with `repro fig4` output.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use index_common::PersistentIndex;
@@ -92,7 +93,7 @@ fn peak(times: usize, f: impl Fn() -> f64) -> f64 {
 /// Runs the Figure-4 workload suite against trees built by `mk`. `mk` gets
 /// the number of extra (beyond warm) keys the workload will insert and must
 /// return a freshly warmed tree.
-pub fn measure(scale: &Scale, mk: &dyn Fn(u64) -> Box<dyn PersistentIndex>) -> OpRates {
+pub fn measure(scale: &Scale, mk: &dyn Fn(u64) -> Arc<dyn PersistentIndex>) -> OpRates {
     let n = scale.warm_n;
     let count = (n / 2).max(1_000);
 
@@ -180,14 +181,16 @@ pub fn measure(scale: &Scale, mk: &dyn Fn(u64) -> Box<dyn PersistentIndex>) -> O
     }
 }
 
-/// `optimized = false` builds the seed's leaf configuration (no
-/// fingerprint probe, no leaf prefetching, synchronous KV flush); `true`
-/// is the current default.
-fn rn_factory<'a>(scale: &'a Scale, dual: bool, optimized: bool) -> impl Fn(u64) -> Box<dyn PersistentIndex> + 'a {
+/// `optimized = false` builds the seed's configuration (no fingerprint
+/// probe, no leaf prefetching, synchronous KV flush, legacy descent —
+/// `legacy_seq_descent` is a per-tree `RnConfig` flag now, so measuring a
+/// "before" tree cannot perturb any co-resident "after" tree); `true` is
+/// the current default.
+fn rn_factory<'a>(scale: &'a Scale, dual: bool, optimized: bool) -> impl Fn(u64) -> Arc<dyn PersistentIndex> + 'a {
     let kind = if dual { TreeKind::RnTreeDs } else { TreeKind::RnTree };
     move |extra| {
         let pool = pool_for(kind, scale.warm_n, extra, scale.bench_pool_cfg());
-        let tree: Box<dyn PersistentIndex> = Box::new(RnTree::create(
+        let tree: Arc<dyn PersistentIndex> = Arc::new(RnTree::create(
             pool,
             RnConfig {
                 dual_slot: dual,
@@ -195,6 +198,7 @@ fn rn_factory<'a>(scale: &'a Scale, dual: bool, optimized: bool) -> impl Fn(u64)
                 fingerprints: optimized,
                 leaf_prefetch: optimized,
                 async_flush: optimized,
+                legacy_seq_descent: !optimized,
                 ..RnConfig::default()
             },
         ));
@@ -203,7 +207,7 @@ fn rn_factory<'a>(scale: &'a Scale, dual: bool, optimized: bool) -> impl Fn(u64)
     }
 }
 
-fn baseline_factory<'a>(scale: &'a Scale, kind: TreeKind) -> impl Fn(u64) -> Box<dyn PersistentIndex> + 'a {
+fn baseline_factory<'a>(scale: &'a Scale, kind: TreeKind) -> impl Fn(u64) -> Arc<dyn PersistentIndex> + 'a {
     move |extra| {
         let pool = pool_for(kind, scale.warm_n, extra, scale.bench_pool_cfg());
         let tree = build_tree(kind, pool, true);
@@ -251,9 +255,7 @@ pub fn bench_json(scale: &Scale, out_path: &str) {
         let mut before = OpRates::zero();
         let mut after = OpRates::zero();
         for _ in 0..ROUNDS {
-            index_common::set_legacy_seq_descent(true);
             before = before.max(measure(scale, &rn_factory(scale, dual, false)));
-            index_common::set_legacy_seq_descent(false);
             after = after.max(measure(scale, &rn_factory(scale, dual, true)));
         }
         println!("{name}: before {}", mops(before));
@@ -318,12 +320,22 @@ mod tests {
             duration: Duration::from_millis(500),
             ..Scale::quick()
         };
-        let mk = rn_factory(&scale, false, true);
-        let tree = mk(0);
         let n = scale.warm_n;
         for round in 0..6 {
             for legacy in [true, false] {
-                index_common::set_legacy_seq_descent(legacy);
+                // The descent switch is per-tree configuration now, so each
+                // side measures its own identically-warmed tree.
+                let pool = pool_for(TreeKind::RnTree, n, 0, scale.bench_pool_cfg());
+                let tree = RnTree::create(
+                    pool,
+                    RnConfig {
+                        dual_slot: false,
+                        seq_traversal: true,
+                        legacy_seq_descent: legacy,
+                        ..RnConfig::default()
+                    },
+                );
+                warm(&tree, n, scale.seed);
                 let mut rng = SplitMix64::new(scale.seed);
                 let rate = duration_loop(
                     |_| {
@@ -335,7 +347,6 @@ mod tests {
                 println!("round {round} legacy={legacy}: {:.4} Mops/s", rate / 1e6);
             }
         }
-        index_common::set_legacy_seq_descent(false);
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! persistent.
 //!
 //! With the `rtm-native` cargo feature on a TSX-capable CPU, the
-//! [`native`] module exposes thin wrappers over the real
+//! `native` module exposes thin wrappers over the real
 //! `core::arch::x86_64` RTM intrinsics for comparison runs. The software TM
 //! is the default and the only path exercised by tests.
 //!

@@ -24,18 +24,6 @@ use htm::{HtmDomain, TmWord, TxResult, Txn};
 
 use crate::{is_leaf_ref, Key};
 
-/// When set, [`InnerIndex::traverse_seq`] runs the original branching
-/// binary search with no prefetching. Benchmark-only facility: it lets one
-/// binary produce honest before/after numbers for the descent rewrite
-/// (`repro bench-json`). Never enable it in concurrent code paths — it only
-/// affects the quiescent sequential traversal.
-static LEGACY_SEQ_DESCENT: AtomicBool = AtomicBool::new(false);
-
-/// Selects the pre-rewrite sequential descent (see [`LEGACY_SEQ_DESCENT`]).
-pub fn set_legacy_seq_descent(on: bool) {
-    LEGACY_SEQ_DESCENT.store(on, Ordering::Relaxed);
-}
-
 /// Maximum children per internal node.
 pub const INNER_FANOUT: usize = 32;
 /// Maximum separator keys per internal node.
@@ -85,6 +73,14 @@ pub struct InnerIndex {
     /// Every inner node ever allocated (including nodes orphaned by aborted
     /// transactions or recovery rebuilds); freed on drop.
     registry: Mutex<Vec<*mut Inner>>,
+    /// When set, [`InnerIndex::traverse_seq`] runs the original branching
+    /// binary search with no prefetching. Benchmark-only facility: it lets
+    /// one binary produce honest before/after numbers for the descent
+    /// rewrite (`repro bench-json`). Per-index on purpose: co-resident
+    /// trees (shards of a [`crate::ShardedIndex`]) must not be able to flip
+    /// each other's descent path through a process-global. It only affects
+    /// the quiescent sequential traversal.
+    legacy_seq: AtomicBool,
 }
 
 // SAFETY: the registry's raw pointers are only dereferenced through the
@@ -102,7 +98,15 @@ impl InnerIndex {
             root: TmWord::new(initial_child),
             domain: HtmDomain::new(),
             registry: Mutex::new(Vec::new()),
+            legacy_seq: AtomicBool::new(false),
         }
+    }
+
+    /// Selects the pre-rewrite sequential descent **for this index only**
+    /// (see the `legacy_seq` field docs). Replaces the former process-global
+    /// switch, which would have coupled co-resident trees.
+    pub fn set_legacy_seq_descent(&self, on: bool) {
+        self.legacy_seq.store(on, Ordering::Relaxed);
     }
 
     /// The HTM domain shared by this tree (leaf-level HTM functions of the
@@ -179,7 +183,7 @@ impl InnerIndex {
     /// benchmarks, recovery verification). Must not run concurrently with
     /// transactional structure updates.
     pub fn traverse_seq(&self, key: Key) -> u64 {
-        if LEGACY_SEQ_DESCENT.load(Ordering::Relaxed) {
+        if self.legacy_seq.load(Ordering::Relaxed) {
             return self.traverse_seq_legacy(key);
         }
         let mut node_ref = self.root.load_seq();

@@ -22,10 +22,12 @@
 #![deny(missing_docs)]
 
 mod inner;
+mod sharded;
 mod traits;
 
-pub use inner::{set_legacy_seq_descent, InnerIndex, INNER_FANOUT};
-pub use traits::{OpError, PersistentIndex, TreeStats};
+pub use inner::{InnerIndex, INNER_FANOUT};
+pub use sharded::{shard_of, ShardedIndex};
+pub use traits::{OpError, PersistentIndex, RecoverableIndex, TreeStats};
 
 /// Key type: 64-bit, as in the paper's YCSB-style evaluation.
 pub type Key = u64;

@@ -1,0 +1,422 @@
+//! A composable sharded index: N independent trees behaving as one.
+//!
+//! The paper scales one RNTree by overlapping persistency with concurrency
+//! inside a single leaf; a production-scale service additionally scales
+//! *across* trees. [`ShardedIndex`] is that layer: it hash-partitions the
+//! key space over `N` inner [`PersistentIndex`] instances (one per pool
+//! shard, see `nvm::PoolSet`), forwards point operations to the owning
+//! shard, and stitches range scans back together with a k-way merge so the
+//! output is globally key-ordered.
+//!
+//! Because every shard is a complete tree with its own persistent pool, its
+//! own allocator, and its own HTM fallback domain, shards interact through
+//! **no** shared persistent or lock state — the only cross-shard coupling
+//! left is false sharing in the process-wide TL2 lock table, which is
+//! probabilistic and read-mostly. That independence is what makes recovery
+//! embarrassingly parallel: [`ShardedIndex::recover`] runs one rebuild
+//! thread per shard (the sharded analogue of the paper's §5.4 leaf-chain
+//! rebuild).
+//!
+//! ## Partitioning function
+//!
+//! Keys are routed by a SplitMix64-style avalanche of the key modulo the
+//! shard count ([`shard_of`]). The avalanche matters: YCSB-style workloads
+//! use structured (sequential or zipfian-ranked) keys, and `key % n` alone
+//! would stripe adjacent hot keys onto the same shard boundary patterns.
+//! The function is pure and stable, so a key's home shard never changes for
+//! the life of a set — rebalancing is an explicit higher-level migration,
+//! exactly as in a sharded service.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nvm::PmemPool;
+
+use crate::{Key, OpError, PersistentIndex, RecoverableIndex, TreeStats, Value};
+
+/// Routes `key` to its home shard among `shards` partitions.
+///
+/// SplitMix64 finalizer (Steele et al.), then a modulo: every output bit of
+/// the finalizer depends on every input bit, so sequential keys spread
+/// uniformly regardless of the shard count's factors.
+///
+/// # Panics
+/// Panics (in debug, via modulo-by-zero) if `shards == 0`.
+#[inline]
+pub fn shard_of(key: Key, shards: usize) -> usize {
+    let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// N independent persistent trees composed into one [`PersistentIndex`].
+///
+/// See the module-level docs for the design. `T` is usually a concrete
+/// tree (`RnTree`, a baseline) opened via [`RecoverableIndex`], but any
+/// `PersistentIndex` vector can be wrapped with [`ShardedIndex::from_shards`].
+pub struct ShardedIndex<T> {
+    shards: Vec<T>,
+}
+
+impl<T: PersistentIndex> ShardedIndex<T> {
+    /// Wraps already-open trees as shards. Shard `i` owns exactly the keys
+    /// with `shard_of(key, shards.len()) == i`; the caller is responsible
+    /// for having routed any pre-existing contents the same way.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn from_shards(shards: Vec<T>) -> Self {
+        assert!(!shards.is_empty(), "ShardedIndex needs at least one shard");
+        ShardedIndex { shards }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `key`.
+    pub fn shard_for(&self, key: Key) -> &T {
+        &self.shards[shard_of(key, self.shards.len())]
+    }
+
+    /// The `i`-th shard tree (for tests and per-shard introspection).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> &T {
+        &self.shards[i]
+    }
+}
+
+impl<T: RecoverableIndex + Send> ShardedIndex<T> {
+    /// Formats every pool and creates one empty tree per shard, in
+    /// parallel.
+    ///
+    /// # Panics
+    /// Panics if `pools` is empty or a shard constructor panics.
+    pub fn create(pools: &[Arc<PmemPool>], cfg: T::Config) -> Self {
+        let (shards, _) = open_parallel(pools, cfg, T::create);
+        ShardedIndex { shards }
+    }
+
+    /// Recovers every shard **in parallel** — one rebuild thread per shard,
+    /// each scanning its own leaf chain and rebuilding its own volatile
+    /// index. Correctness never depends on cross-shard ordering because no
+    /// persistent state is shared.
+    ///
+    /// # Panics
+    /// Panics if `pools` is empty or a shard's recovery panics.
+    pub fn recover(pools: &[Arc<PmemPool>], cfg: T::Config) -> Self {
+        let (shards, _) = open_parallel(pools, cfg, T::recover);
+        ShardedIndex { shards }
+    }
+
+    /// [`ShardedIndex::recover`], additionally reporting each shard's
+    /// rebuild wall-clock time (for the recovery-scaling experiment).
+    pub fn recover_timed(pools: &[Arc<PmemPool>], cfg: T::Config) -> (Self, Vec<Duration>) {
+        let (shards, times) = open_parallel(pools, cfg, T::recover);
+        (ShardedIndex { shards }, times)
+    }
+
+    /// Reattaches every shard after a clean shutdown, in parallel.
+    ///
+    /// # Panics
+    /// Panics if `pools` is empty or a shard constructor panics.
+    pub fn reopen_clean(pools: &[Arc<PmemPool>], cfg: T::Config) -> Self {
+        let (shards, _) = open_parallel(pools, cfg, T::reopen_clean);
+        ShardedIndex { shards }
+    }
+
+    /// Cleanly shuts down every shard.
+    pub fn close(&self) {
+        for s in &self.shards {
+            s.close();
+        }
+    }
+}
+
+/// Opens one tree per pool on its own thread; results come back in shard
+/// order together with each shard's open/rebuild wall-clock time.
+fn open_parallel<T, F>(pools: &[Arc<PmemPool>], cfg: T::Config, open: F) -> (Vec<T>, Vec<Duration>)
+where
+    T: RecoverableIndex + Send,
+    F: Fn(Arc<PmemPool>, T::Config) -> T + Send + Sync,
+{
+    assert!(!pools.is_empty(), "ShardedIndex needs at least one shard pool");
+    let open = &open;
+    let results: Vec<(T, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pools
+            .iter()
+            .map(|pool| {
+                let pool = Arc::clone(pool);
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let tree = open(pool, cfg);
+                    (tree, t0.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard open thread panicked")).collect()
+    });
+    results.into_iter().unzip()
+}
+
+impl<T: PersistentIndex> PersistentIndex for ShardedIndex<T> {
+    fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.shard_for(key).insert(key, value)
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.shard_for(key).update(key, value)
+    }
+
+    fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.shard_for(key).upsert(key, value)
+    }
+
+    fn remove(&self, key: Key) -> Result<(), OpError> {
+        self.shard_for(key).remove(key)
+    }
+
+    fn find(&self, key: Key) -> Option<Value> {
+        self.shard_for(key).find(key)
+    }
+
+    /// Globally key-ordered scan. Each shard returns its first `n` pairs
+    /// with key ≥ `start` (already sorted); since the global first `n`
+    /// pairs are contained in the union of the per-shard first `n`, a
+    /// k-way merge of those streams truncated to `n` is exact.
+    fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        out.clear();
+        if n == 0 {
+            return 0;
+        }
+        let k = self.shards.len();
+        let mut bufs: Vec<Vec<(Key, Value)>> = Vec::with_capacity(k);
+        for s in &self.shards {
+            let mut buf = Vec::new();
+            s.scan_n(start, n, &mut buf);
+            bufs.push(buf);
+        }
+        // K-way merge on a min-heap of (next key, shard). Keys are unique
+        // across shards (each key has exactly one home), so ties cannot
+        // occur and the merge is trivially stable.
+        let mut pos = vec![0usize; k];
+        let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::with_capacity(k);
+        for (i, buf) in bufs.iter().enumerate() {
+            if let Some(&(key, _)) = buf.first() {
+                heap.push(Reverse((key, i)));
+            }
+        }
+        while out.len() < n {
+            let Some(Reverse((_, i))) = heap.pop() else { break };
+            out.push(bufs[i][pos[i]]);
+            pos[i] += 1;
+            if let Some(&(key, _)) = bufs[i].get(pos[i]) {
+                heap.push(Reverse((key, i)));
+            }
+        }
+        out.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    fn supports_concurrency(&self) -> bool {
+        self.shards.iter().all(|s| s.supports_concurrency())
+    }
+
+    /// Sums the structural counters across shards and ORs the sticky
+    /// [`TreeStats::pool_exhausted`] flag, so one full shard is visible at
+    /// the composite level.
+    fn stats(&self) -> TreeStats {
+        let mut total = TreeStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.leaves += st.leaves;
+            total.entries += st.entries;
+            total.splits += st.splits;
+            total.pool_exhausted |= st.pool_exhausted;
+        }
+        total
+    }
+
+    /// Mean of the per-shard abort ratios (each shard's HTM domain is
+    /// independent, so an unweighted mean is the honest summary absent
+    /// per-shard attempt counts). `None` if no shard reports one.
+    fn htm_abort_ratio(&self) -> Option<f64> {
+        let ratios: Vec<f64> = self.shards.iter().filter_map(|s| s.htm_abort_ratio()).collect();
+        if ratios.is_empty() {
+            None
+        } else {
+            Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Volatile stand-in tree for merge/routing unit tests.
+    struct MapShard {
+        map: Mutex<BTreeMap<Key, Value>>,
+    }
+
+    impl MapShard {
+        fn new() -> Self {
+            MapShard { map: Mutex::new(BTreeMap::new()) }
+        }
+    }
+
+    impl PersistentIndex for MapShard {
+        fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+            let mut m = self.map.lock().unwrap();
+            if m.contains_key(&key) {
+                return Err(OpError::AlreadyExists);
+            }
+            m.insert(key, value);
+            Ok(())
+        }
+        fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+            let mut m = self.map.lock().unwrap();
+            if !m.contains_key(&key) {
+                return Err(OpError::NotFound);
+            }
+            m.insert(key, value);
+            Ok(())
+        }
+        fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+            self.map.lock().unwrap().insert(key, value);
+            Ok(())
+        }
+        fn remove(&self, key: Key) -> Result<(), OpError> {
+            self.map.lock().unwrap().remove(&key).map(|_| ()).ok_or(OpError::NotFound)
+        }
+        fn find(&self, key: Key) -> Option<Value> {
+            self.map.lock().unwrap().get(&key).copied()
+        }
+        fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+            out.clear();
+            out.extend(self.map.lock().unwrap().range(start..).take(n).map(|(&k, &v)| (k, v)));
+            out.len()
+        }
+        fn name(&self) -> &'static str {
+            "MapShard"
+        }
+        fn stats(&self) -> TreeStats {
+            TreeStats {
+                entries: self.map.lock().unwrap().len() as u64,
+                leaves: 1,
+                ..TreeStats::default()
+            }
+        }
+    }
+
+    fn sharded(n: usize) -> ShardedIndex<MapShard> {
+        ShardedIndex::from_shards((0..n).map(|_| MapShard::new()).collect())
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 5, 8] {
+            for key in 0..1000u64 {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_keys() {
+        let shards = 4;
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[shard_of(key, shards)] += 1;
+        }
+        for &c in &counts {
+            // Perfectly uniform would be 1000 per shard; accept ±25%.
+            assert!((750..=1250).contains(&c), "skewed shard histogram: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn point_ops_route_and_compose() {
+        let idx = sharded(4);
+        for k in 0..500u64 {
+            idx.insert(k, k * 10).unwrap();
+        }
+        assert_eq!(idx.insert(42, 1), Err(OpError::AlreadyExists));
+        assert_eq!(idx.update(9999, 1), Err(OpError::NotFound));
+        idx.update(42, 421).unwrap();
+        assert_eq!(idx.find(42), Some(421));
+        idx.remove(42).unwrap();
+        assert_eq!(idx.find(42), None);
+        assert_eq!(idx.stats().entries, 499);
+    }
+
+    #[test]
+    fn scan_is_globally_ordered_across_shards() {
+        let idx = sharded(3);
+        let mut model = BTreeMap::new();
+        for k in (0..600u64).step_by(3) {
+            idx.insert(k, k + 1).unwrap();
+            model.insert(k, k + 1);
+        }
+        let mut out = Vec::new();
+        for start in [0u64, 7, 300, 599, 1000] {
+            for n in [0usize, 1, 5, 100, 10_000] {
+                let got = idx.scan_n(start, n, &mut out);
+                let want: Vec<(Key, Value)> =
+                    model.range(start..).take(n).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want.len());
+                assert_eq!(out, want, "scan_n({start}, {n}) diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_or_pool_exhausted() {
+        struct Exhausted;
+        impl PersistentIndex for Exhausted {
+            fn insert(&self, _: Key, _: Value) -> Result<(), OpError> {
+                Err(OpError::PoolExhausted)
+            }
+            fn update(&self, _: Key, _: Value) -> Result<(), OpError> {
+                Err(OpError::PoolExhausted)
+            }
+            fn upsert(&self, _: Key, _: Value) -> Result<(), OpError> {
+                Err(OpError::PoolExhausted)
+            }
+            fn remove(&self, _: Key) -> Result<(), OpError> {
+                Err(OpError::NotFound)
+            }
+            fn find(&self, _: Key) -> Option<Value> {
+                None
+            }
+            fn scan_n(&self, _: Key, _: usize, out: &mut Vec<(Key, Value)>) -> usize {
+                out.clear();
+                0
+            }
+            fn name(&self) -> &'static str {
+                "Exhausted"
+            }
+            fn stats(&self) -> TreeStats {
+                TreeStats { pool_exhausted: true, ..TreeStats::default() }
+            }
+        }
+        let idx = ShardedIndex::from_shards(vec![Exhausted, Exhausted]);
+        assert!(idx.stats().pool_exhausted);
+        assert_eq!(idx.upsert(1, 1), Err(OpError::PoolExhausted));
+    }
+}

@@ -1,5 +1,9 @@
 //! The operation interface shared by RNTree and every baseline tree.
 
+use std::sync::Arc;
+
+use nvm::PmemPool;
+
 use crate::{Key, Value};
 
 /// Errors surfaced by conditional operations (paper §3.3: *conditional
@@ -36,6 +40,12 @@ pub struct TreeStats {
     pub entries: u64,
     /// Leaf splits performed.
     pub splits: u64,
+    /// Whether the tree has ever hit [`OpError::PoolExhausted`] (an
+    /// allocation failed because the persistent pool ran out of blocks).
+    /// Sticky: once set it stays set for the life of the tree. A sharded
+    /// index ORs this across shards, so one full shard is visible at the
+    /// top level even while its siblings still have room.
+    pub pool_exhausted: bool,
 }
 
 /// A durable ordered key-value index over simulated NVM.
@@ -83,6 +93,48 @@ pub trait PersistentIndex: Send + Sync {
     fn htm_abort_ratio(&self) -> Option<f64> {
         None
     }
+}
+
+/// Constructor/lifecycle interface for trees that live in a [`PmemPool`].
+///
+/// [`PersistentIndex`] describes *operations* on an open tree; this trait
+/// factors out how a tree is **opened**: formatted fresh ([`create`]),
+/// rebuilt after a crash ([`recover`]), or reattached after a clean
+/// shutdown ([`reopen_clean`]). With the lifecycle behind a trait, a
+/// composite index can open every shard generically — and run recovery in
+/// parallel, one rebuild thread per shard, the sharded analogue of the
+/// paper's §5.4 leaf-chain rebuild.
+///
+/// [`create`]: RecoverableIndex::create
+/// [`recover`]: RecoverableIndex::recover
+/// [`reopen_clean`]: RecoverableIndex::reopen_clean
+pub trait RecoverableIndex: PersistentIndex + Sized {
+    /// Per-tree construction options (e.g. `RnConfig`). `Clone + Send +
+    /// Sync` so parallel shard recovery can hand every worker thread its
+    /// own copy.
+    type Config: Clone + Send + Sync;
+
+    /// Formats `pool` and builds an empty tree in it.
+    fn create(pool: Arc<PmemPool>, cfg: Self::Config) -> Self;
+
+    /// Opens a tree from a pool in an arbitrary post-crash state: verifies
+    /// the format, completes or rolls back interrupted operations, and
+    /// rebuilds all volatile state from the persistent leaf chain.
+    fn recover(pool: Arc<PmemPool>, cfg: Self::Config) -> Self;
+
+    /// Opens a tree from a pool after a clean shutdown ([`close`]). Trees
+    /// with a fast clean-restart path override this; the default simply
+    /// runs full crash recovery, which is always correct.
+    ///
+    /// [`close`]: RecoverableIndex::close
+    fn reopen_clean(pool: Arc<PmemPool>, cfg: Self::Config) -> Self {
+        Self::recover(pool, cfg)
+    }
+
+    /// Cleanly shuts the tree down (flushes volatile state, marks the pool
+    /// clean). Default: no-op, for trees whose persistent state is always
+    /// complete.
+    fn close(&self) {}
 }
 
 #[cfg(test)]

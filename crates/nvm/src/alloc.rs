@@ -94,6 +94,16 @@ impl BlockAllocator {
         self.free.lock().unwrap().push(off);
     }
 
+    /// True if an allocation would succeed right now (free-list entry or
+    /// bump headroom available). Advisory under concurrency: another thread
+    /// may take the last block between this check and an `alloc` call.
+    pub fn has_free(&self) -> bool {
+        if !self.free.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.bump.load(Ordering::Relaxed) + self.block_size <= self.end
+    }
+
     /// Number of blocks currently handed out (allocated minus freed).
     pub fn live_blocks(&self) -> u64 {
         let bumped = (self.bump.load(Ordering::Relaxed) - self.start) / self.block_size;

@@ -61,6 +61,7 @@ mod file;
 mod journal;
 mod latency;
 mod pool;
+mod poolset;
 mod rng;
 mod root;
 mod stats;
@@ -69,6 +70,7 @@ pub use alloc::BlockAllocator;
 pub use journal::UndoJournal;
 pub use latency::busy_wait_ns;
 pub use pool::{FlushHandle, PmemConfig, PmemPool};
+pub use poolset::PoolSet;
 pub use rng::SplitMix64;
 pub use root::{RootTable, ROOT_SLOTS};
 pub use stats::{PmemStats, PmemStatsSnapshot};

@@ -1,0 +1,293 @@
+//! Partitioned pools: one capacity budget carved into independent shards.
+//!
+//! A [`PoolSet`] is the persistent substrate for a *sharded* index: it takes
+//! one total capacity and splits it into `n` equally sized regions, each
+//! backed by its own [`PmemPool`]. Every shard therefore has an independent
+//! root table (at its own offset 0), an independent allocator bump/free-list
+//! (owned by the tree layered on top), and independent [`PmemStats`]
+//! counters — nothing an operation on shard *i* does can touch shard *j*'s
+//! persistent state. That isolation is what makes per-shard recovery
+//! embarrassingly parallel (one rebuild thread per shard) and keeps the
+//! crash-consistency argument per-shard: a crash point observed by one shard
+//! cannot leave another shard mid-modify.
+//!
+//! Each shard remains an ordinary `Arc<PmemPool>`, so everything downstream
+//! (trees, journals, crash simulation, persist traps) works unchanged on a
+//! shard.
+//!
+//! ## One backing file
+//!
+//! [`PoolSet::save`] serialises the durable images of *all* shards into a
+//! single snapshot file — header, per-shard region table, then the regions —
+//! written to a temp file and renamed, so a crash mid-save never corrupts a
+//! previous snapshot (same discipline as [`PmemPool::save_durable`]).
+//! [`PoolSet::load`] restores the whole set in the post-crash state.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::pool::{PmemConfig, PmemPool};
+use crate::stats::PmemStatsSnapshot;
+use crate::CACHE_LINE;
+
+const SET_MAGIC: u64 = 0x504D_454D_5345_5421; // "PMEMSET!"
+const SET_VERSION: u64 = 1;
+
+/// A fixed-cardinality set of independent persistent-memory shards.
+///
+/// See the module-level docs for the isolation argument. The shard count
+/// is fixed at creation; repartitioning is a higher-level (re-insert)
+/// concern, exactly as in a sharded service.
+pub struct PoolSet {
+    shards: Vec<Arc<PmemPool>>,
+}
+
+impl PoolSet {
+    /// Carves `cfg.size` bytes into `shards` equal regions and builds one
+    /// pool per region. Latency and shadow settings apply to every shard.
+    ///
+    /// The per-shard size is rounded down to a whole number of cache lines;
+    /// `cfg.size` must leave each shard at least one line.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the per-shard size rounds to zero.
+    pub fn new(cfg: PmemConfig, shards: usize) -> PoolSet {
+        assert!(shards > 0, "PoolSet needs at least one shard");
+        let per = (cfg.size / shards) & !(CACHE_LINE - 1);
+        assert!(per >= CACHE_LINE, "PoolSet: {} bytes is too small for {} shards", cfg.size, shards);
+        let pools = (0..shards)
+            .map(|_| {
+                Arc::new(PmemPool::new(PmemConfig { size: per, ..cfg }))
+            })
+            .collect();
+        PoolSet { shards: pools }
+    }
+
+    /// Number of shards in the set.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The `i`-th shard's pool.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> &Arc<PmemPool> {
+        &self.shards[i]
+    }
+
+    /// Iterates over the shard pools in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<PmemPool>> {
+        self.shards.iter()
+    }
+
+    /// Clones the shard handles into a plain vector (the shape the sharded
+    /// index constructors consume).
+    pub fn handles(&self) -> Vec<Arc<PmemPool>> {
+        self.shards.clone()
+    }
+
+    /// Sums the persistence counters of every shard into one snapshot.
+    /// Persist/flush/fence counts add naturally; so do eviction and crash
+    /// counts.
+    pub fn stats_snapshot(&self) -> PmemStatsSnapshot {
+        let mut total = PmemStatsSnapshot::default();
+        for s in &self.shards {
+            let snap = s.stats().snapshot();
+            total.persists += snap.persists;
+            total.lines_flushed += snap.lines_flushed;
+            total.fences += snap.fences;
+            total.lines_evicted += snap.lines_evicted;
+            total.crashes += snap.crashes;
+        }
+        total
+    }
+
+    /// Crashes every shard: each arena is replaced by its durable image,
+    /// exactly as a power failure would hit all partitions of one machine
+    /// at once. Requires shadow mode on every shard.
+    pub fn simulate_crash(&self) {
+        for s in &self.shards {
+            s.simulate_crash();
+        }
+    }
+
+    /// Saves the durable images of all shards into one snapshot file
+    /// (atomically: temp file + rename).
+    ///
+    /// Requires shadow mode and quiescence on every shard.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("pmemset.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&SET_MAGIC.to_le_bytes())?;
+            f.write_all(&SET_VERSION.to_le_bytes())?;
+            f.write_all(&(self.shards.len() as u64).to_le_bytes())?;
+            // Region table: one length per shard, so the format stays valid
+            // if a future version allows heterogeneous shard sizes.
+            for s in &self.shards {
+                f.write_all(&s.len().to_le_bytes())?;
+            }
+            for s in &self.shards {
+                let len = s.len();
+                let mut buf = vec![0u8; len as usize];
+                for w in 0..(len / 8) {
+                    buf[(w * 8) as usize..(w * 8 + 8) as usize]
+                        .copy_from_slice(&s.read_durable_u64(w * 8).to_le_bytes());
+                }
+                f.write_all(&buf)?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a set from a file written by [`PoolSet::save`]. Every shard
+    /// comes up in the post-crash state (arena == durable image) with the
+    /// testing configuration; use [`PoolSet::load_with`] to choose latency
+    /// or shadow settings.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<PoolSet> {
+        Self::load_with(path, PmemConfig::for_testing)
+    }
+
+    /// Loads a set, building each shard's configuration from its recorded
+    /// region size.
+    pub fn load_with<P: AsRef<Path>>(
+        path: P,
+        make_cfg: impl Fn(usize) -> PmemConfig,
+    ) -> io::Result<PoolSet> {
+        let mut f = File::open(path.as_ref())?;
+        let mut hdr = [0u8; 24];
+        f.read_exact(&mut hdr)?;
+        let magic = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
+        let version = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+        let count = u64::from_le_bytes(hdr[16..24].try_into().unwrap());
+        if magic != SET_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a pmem set snapshot"));
+        }
+        if version != SET_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported set snapshot version {version}"),
+            ));
+        }
+        if count == 0 || count > 4096 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad shard count"));
+        }
+        let mut lens = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut b = [0u8; 8];
+            f.read_exact(&mut b)?;
+            let len = u64::from_le_bytes(b);
+            if len == 0 || len % CACHE_LINE as u64 != 0 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad shard size"));
+            }
+            lens.push(len);
+        }
+        let mut shards = Vec::with_capacity(count as usize);
+        for len in lens {
+            let mut buf = vec![0u8; len as usize];
+            f.read_exact(&mut buf)?;
+            let mut cfg = make_cfg(len as usize);
+            cfg.size = len as usize;
+            let pool = PmemPool::new(cfg);
+            pool.write_bytes(0, &buf);
+            if pool.config().shadow {
+                pool.persist_region_quiet(0, len);
+            }
+            shards.push(Arc::new(pool));
+        }
+        Ok(PoolSet { shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nvm_poolset_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn carves_budget_into_equal_shards() {
+        let set = PoolSet::new(PmemConfig::for_testing(1 << 20), 4);
+        assert_eq!(set.shards(), 4);
+        for s in set.iter() {
+            assert_eq!(s.len(), (1 << 18) as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_unsatisfiable_partitioning() {
+        PoolSet::new(PmemConfig::for_testing(64), 2);
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let set = PoolSet::new(PmemConfig::for_testing(1 << 16), 2);
+        set.shard(0).store_u64(4096, 11);
+        set.shard(0).persist(4096, 8);
+        set.shard(1).store_u64(4096, 22); // same offset, different shard; not persisted
+        set.simulate_crash();
+        assert_eq!(set.shard(0).load_u64(4096), 11);
+        assert_eq!(set.shard(1).load_u64(4096), 0, "crash leaked across shards");
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let set = PoolSet::new(PmemConfig::for_testing(1 << 16), 2);
+        set.shard(0).store_u64(0, 1);
+        set.shard(0).persist(0, 8);
+        set.shard(1).store_u64(0, 1);
+        set.shard(1).persist(0, 8);
+        set.shard(1).persist(64, 8);
+        let snap = set.stats_snapshot();
+        assert_eq!(snap.persists, 3);
+        assert_eq!(snap.fences, 3);
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_crash_equivalent() {
+        let set = PoolSet::new(PmemConfig::for_testing(1 << 16), 3);
+        for (i, s) in set.iter().enumerate() {
+            s.store_u64(4096, 100 + i as u64);
+            s.persist(4096, 8);
+            s.store_u64(4104, 999); // unpersisted: must not survive
+        }
+        let path = tmp("roundtrip");
+        set.save(&path).unwrap();
+
+        let back = PoolSet::load(&path).unwrap();
+        assert_eq!(back.shards(), 3);
+        for (i, s) in back.iter().enumerate() {
+            assert_eq!(s.load_u64(4096), 100 + i as u64);
+            assert_eq!(s.load_u64(4104), 0, "unpersisted data leaked into snapshot");
+        }
+        // Loaded shards support crash simulation immediately.
+        back.shard(1).store_u64(8192, 5);
+        back.simulate_crash();
+        assert_eq!(back.shard(1).load_u64(8192), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_plain_pool_files() {
+        let garbage = tmp("garbage");
+        std::fs::write(&garbage, b"nope").unwrap();
+        assert!(PoolSet::load(&garbage).is_err());
+        std::fs::remove_file(&garbage).ok();
+
+        // A single-pool snapshot has a different magic and must be rejected.
+        let single = tmp("single");
+        let p = PmemPool::new(PmemConfig::for_testing(1 << 14));
+        p.save_durable(&single).unwrap();
+        assert!(PoolSet::load(&single).is_err());
+        std::fs::remove_file(&single).ok();
+    }
+}

@@ -46,6 +46,7 @@ impl RnTree {
 
         let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
         let index = InnerIndex::new(leaf_ref(first));
+        index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         RnTree {
             pool,
             alloc,
@@ -110,6 +111,7 @@ impl RnTree {
         RootTable::set(&pool, roots::CLEAN, 0);
 
         let index = InnerIndex::new(leaf_ref(leftmost));
+        index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
@@ -166,6 +168,7 @@ impl RnTree {
         RootTable::set(&pool, roots::CLEAN, 0);
 
         let index = InnerIndex::new(leaf_ref(leftmost));
+        index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
@@ -201,6 +204,29 @@ impl RnTree {
     /// Offset of the leftmost leaf (diagnostics/benchmarks).
     pub fn leftmost(&self) -> u64 {
         self.leftmost
+    }
+}
+
+/// The lifecycle methods above, exposed generically so a sharded composite
+/// (`index_common::ShardedIndex`) can open and recover RNTree shards in
+/// parallel without naming the concrete type.
+impl index_common::RecoverableIndex for RnTree {
+    type Config = RnConfig;
+
+    fn create(pool: Arc<PmemPool>, cfg: RnConfig) -> Self {
+        RnTree::create(pool, cfg)
+    }
+
+    fn recover(pool: Arc<PmemPool>, cfg: RnConfig) -> Self {
+        RnTree::recover(pool, cfg)
+    }
+
+    fn reopen_clean(pool: Arc<PmemPool>, cfg: RnConfig) -> Self {
+        RnTree::reopen_clean(pool, cfg)
+    }
+
+    fn close(&self) {
+        RnTree::close(self)
     }
 }
 

@@ -90,6 +90,12 @@ pub struct RnConfig {
     /// unchanged; off restores the seed's synchronous flush-then-lock
     /// sequence for before/after benchmarking.
     pub async_flush: bool,
+    /// Run the pre-rewrite (branchy, prefetch-free) sequential descent in
+    /// this tree's [`InnerIndex`]. Benchmark-only before/after switch; a
+    /// per-tree config field (not a process global) so co-resident trees —
+    /// e.g. shards of an `index_common::ShardedIndex` — can never flip each
+    /// other's descent path.
+    pub legacy_seq_descent: bool,
 }
 
 impl Default for RnConfig {
@@ -101,6 +107,7 @@ impl Default for RnConfig {
             fingerprints: true,
             leaf_prefetch: true,
             async_flush: true,
+            legacy_seq_descent: false,
         }
     }
 }
@@ -212,6 +219,9 @@ impl RnTree {
     // ---------------------------------------------------------------- modify
 
     fn modify(&self, key: Key, value: Value, mode: WriteMode) -> Result<(), OpError> {
+        // Consecutive full-leaf retries; see `starved` for how this turns a
+        // hopeless retry loop (full leaf + exhausted pool) into an error.
+        let mut starved = 0u32;
         loop {
             let leaf = Leaf::at(&self.pool, self.traverse(key));
 
@@ -220,6 +230,9 @@ impl RnTree {
                 // line 5 re-traverses "hoping the split completes"; the
                 // nlogs==plogs guard means someone must actually run it).
                 self.help_split(leaf);
+                if self.starved(&mut starved) {
+                    return Err(OpError::PoolExhausted);
+                }
                 self.note_retry();
                 continue;
             };
@@ -340,6 +353,9 @@ impl RnTree {
                 Decision::Exists => return Err(OpError::AlreadyExists),
                 Decision::Missing => return Err(OpError::NotFound),
                 Decision::Overfull => {
+                    if self.starved(&mut starved) {
+                        return Err(OpError::PoolExhausted);
+                    }
                     self.note_retry();
                     continue;
                 }
@@ -449,6 +465,17 @@ impl RnTree {
 
     fn note_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Full-leaf retry accounting. Returns true when retrying cannot ever
+    /// succeed: a split has already failed for lack of blocks, no block has
+    /// been freed since, and the condition has held for several consecutive
+    /// retries (giving any deferred compaction or in-flight split every
+    /// chance to drain the leaf first). Without this, an insert into a full
+    /// leaf of an exhausted pool would retry forever.
+    fn starved(&self, count: &mut u32) -> bool {
+        *count += 1;
+        *count >= 4 && self.pool_exhausted.load(Ordering::Relaxed) && !self.alloc.has_free()
     }
 
     // ---------------------------------------------------------------- split
@@ -841,6 +868,7 @@ impl PersistentIndex for RnTree {
             leaves,
             entries,
             splits: self.splits.load(Ordering::Relaxed),
+            pool_exhausted: self.saw_pool_exhaustion(),
         }
     }
 }

@@ -14,9 +14,10 @@
 //! [`Histogram`]s plus aggregate throughput.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use index_common::PersistentIndex;
+use index_common::{OpError, PersistentIndex};
 use nvm::SplitMix64;
 
 use crate::hist::Histogram;
@@ -35,6 +36,13 @@ pub struct LoopResult {
     pub update_lat: Histogram,
     /// Latencies of all other operation classes.
     pub other_lat: Histogram,
+    /// Operations that hit [`OpError::PoolExhausted`]. These *are* counted
+    /// in `ops` — the worker records the failure and continues with the
+    /// next sampled operation, so an exhausted shard degrades throughput
+    /// honestly instead of skewing the operation mix (the alternative —
+    /// resampling until a non-failing op comes up — would silently turn an
+    /// insert-heavy workload read-heavy as the pool fills).
+    pub pool_exhausted: u64,
 }
 
 impl LoopResult {
@@ -50,11 +58,16 @@ impl LoopResult {
 
 struct WorkerOut {
     ops: u64,
+    pool_exhausted: u64,
     read: Histogram,
     update: Histogram,
     other: Histogram,
 }
 
+/// Issues one operation. Conditional-write failures (`AlreadyExists`,
+/// `NotFound`) are expected workload noise and swallowed; resource
+/// exhaustion is reported so the worker can record it (see
+/// [`LoopResult::pool_exhausted`]).
 fn execute(
     tree: &dyn PersistentIndex,
     kind: OpKind,
@@ -62,31 +75,33 @@ fn execute(
     scan_len: usize,
     scan_buf: &mut Vec<(u64, u64)>,
     fresh: &AtomicU64,
-) {
-    match kind {
+) -> Result<(), OpError> {
+    let r = match kind {
         OpKind::Read => {
             std::hint::black_box(tree.find(key));
+            Ok(())
         }
-        OpKind::Update => {
-            let _ = tree.upsert(key, key ^ 0x5555);
-        }
+        OpKind::Update => tree.upsert(key, key ^ 0x5555),
         OpKind::Insert => {
             let k = fresh.fetch_add(1, Ordering::Relaxed);
-            let _ = tree.upsert(k, k);
+            tree.upsert(k, k)
         }
-        OpKind::Remove => {
-            let _ = tree.remove(key);
-        }
+        OpKind::Remove => tree.remove(key),
         OpKind::Scan => {
             std::hint::black_box(tree.scan_n(key, scan_len.max(1), scan_buf));
+            Ok(())
         }
+    };
+    match r {
+        Err(OpError::PoolExhausted) => Err(OpError::PoolExhausted),
+        _ => Ok(()),
     }
 }
 
 /// Runs `threads` closed-loop workers for `duration`. Deterministic up to
 /// thread scheduling for a given `seed`.
 pub fn run_closed_loop(
-    tree: &dyn PersistentIndex,
+    tree: &Arc<dyn PersistentIndex>,
     spec: &WorkloadSpec,
     threads: usize,
     duration: Duration,
@@ -103,10 +118,13 @@ pub fn run_closed_loop(
             .map(|tid| {
                 let keygen = keygen.clone();
                 let fresh = &fresh;
+                let tree = Arc::clone(tree);
                 scope.spawn(move || {
+                    let tree = &*tree;
                     let mut rng = SplitMix64::new(seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B9));
                     let mut out = WorkerOut {
                         ops: 0,
+                        pool_exhausted: 0,
                         read: Histogram::new(),
                         update: Histogram::new(),
                         other: Histogram::new(),
@@ -119,7 +137,9 @@ pub fn run_closed_loop(
                         }
                         let kind = spec.mix.sample(&mut rng);
                         let key = keygen.next_key(&mut rng);
-                        execute(tree, kind, key, spec.scan_len, &mut scan_buf, fresh);
+                        if execute(tree, kind, key, spec.scan_len, &mut scan_buf, fresh).is_err() {
+                            out.pool_exhausted += 1;
+                        }
                         let lat = t0.elapsed().as_nanos() as u64;
                         out.ops += 1;
                         match kind {
@@ -143,7 +163,7 @@ pub fn run_closed_loop(
 /// measured from the scheduled arrival, so it includes queueing delay
 /// when the system cannot keep up.
 pub fn run_open_loop(
-    tree: &dyn PersistentIndex,
+    tree: &Arc<dyn PersistentIndex>,
     spec: &WorkloadSpec,
     threads: usize,
     rate_per_worker: f64,
@@ -162,10 +182,13 @@ pub fn run_open_loop(
             .map(|tid| {
                 let keygen = keygen.clone();
                 let fresh = &fresh;
+                let tree = Arc::clone(tree);
                 scope.spawn(move || {
+                    let tree = &*tree;
                     let mut rng = SplitMix64::new(seed ^ (tid as u64 + 1).wrapping_mul(0x517C_C1B7));
                     let mut out = WorkerOut {
                         ops: 0,
+                        pool_exhausted: 0,
                         read: Histogram::new(),
                         update: Histogram::new(),
                         other: Histogram::new(),
@@ -193,7 +216,9 @@ pub fn run_open_loop(
                         }
                         let kind = spec.mix.sample(&mut rng);
                         let key = keygen.next_key(&mut rng);
-                        execute(tree, kind, key, spec.scan_len, &mut scan_buf, fresh);
+                        if execute(tree, kind, key, spec.scan_len, &mut scan_buf, fresh).is_err() {
+                            out.pool_exhausted += 1;
+                        }
                         let lat = (Instant::now() - scheduled).as_nanos() as u64;
                         out.ops += 1;
                         match kind {
@@ -220,9 +245,11 @@ fn merge(outs: Vec<WorkerOut>, elapsed: Duration) -> LoopResult {
         read_lat: Histogram::new(),
         update_lat: Histogram::new(),
         other_lat: Histogram::new(),
+        pool_exhausted: 0,
     };
     for o in outs {
         res.ops += o.ops;
+        res.pool_exhausted += o.pool_exhausted;
         res.read_lat.merge(&o.read);
         res.update_lat.merge(&o.update);
         res.other_lat.merge(&o.other);
@@ -291,9 +318,13 @@ mod tests {
         }
     }
 
+    fn arc(idx: MapIndex) -> Arc<dyn index_common::PersistentIndex> {
+        Arc::new(idx)
+    }
+
     #[test]
     fn closed_loop_reports_work() {
-        let idx = MapIndex::new(1_000);
+        let idx = arc(MapIndex::new(1_000));
         let spec = WorkloadSpec::ycsb_a(KeyDist::Uniform { n: 1_000 });
         let r = run_closed_loop(&idx, &spec, 2, Duration::from_millis(100), 42);
         assert!(r.ops > 100, "ops={}", r.ops);
@@ -302,11 +333,12 @@ mod tests {
         assert!(r.update_lat.count() > 0);
         assert_eq!(r.other_lat.count(), 0, "YCSB-A has only reads/updates");
         assert_eq!(r.ops, r.read_lat.count() + r.update_lat.count());
+        assert_eq!(r.pool_exhausted, 0);
     }
 
     #[test]
     fn open_loop_respects_schedule_roughly() {
-        let idx = MapIndex::new(100);
+        let idx = arc(MapIndex::new(100));
         let spec = WorkloadSpec::ycsb_c(KeyDist::Uniform { n: 100 });
         // 2 workers × 500 req/s × 0.3 s ≈ 300 ops.
         let r = run_open_loop(&idx, &spec, 2, 500.0, Duration::from_millis(300), 7);
@@ -322,7 +354,7 @@ mod tests {
 
     #[test]
     fn scan_mix_exercises_scan_path() {
-        let idx = MapIndex::new(1_000);
+        let idx = arc(MapIndex::new(1_000));
         let spec = WorkloadSpec {
             mix: crate::Mix {
                 read: 0,
@@ -342,7 +374,7 @@ mod tests {
     fn deterministic_op_counts_are_stable_under_same_seed() {
         // Not a strict determinism test (time-based), but the same seed
         // must at least produce the same *kinds* of activity.
-        let idx = MapIndex::new(100);
+        let idx = arc(MapIndex::new(100));
         let spec = WorkloadSpec::read_intensive(KeyDist::Zipfian { n: 100, theta: 0.8 });
         let r = run_closed_loop(&idx, &spec, 1, Duration::from_millis(50), 3);
         let reads = r.read_lat.count() as f64;

@@ -23,12 +23,12 @@ use ycsb::{KeyDist, WorkloadSpec};
 const WARM: u64 = 50_000;
 const THREADS: usize = 4;
 
-fn drive(tree: &dyn PersistentIndex, label: &str) {
+fn drive(tree: Arc<dyn PersistentIndex>, label: &str) {
     for k in 1..=WARM {
         tree.upsert(k, k).unwrap();
     }
     let spec = WorkloadSpec::ycsb_a(KeyDist::ScrambledZipfian { n: WARM, theta: 0.8 });
-    let r = ycsb::run_closed_loop(tree, &spec, THREADS, Duration::from_secs(1), 7);
+    let r = ycsb::run_closed_loop(&tree, &spec, THREADS, Duration::from_secs(1), 7);
     println!(
         "{label:<10} {:>10.0} ops/s | read p50 {:>6} ns p99 {:>8} ns | update p50 {:>6} ns p99 {:>8} ns | htm aborts {}",
         r.throughput(),
@@ -45,13 +45,13 @@ fn main() {
     let mk_pool = || Arc::new(PmemPool::new(PmemConfig::for_benchmarks(256 << 20)));
 
     let ds_pool = Arc::new(PmemPool::new(PmemConfig::for_testing(256 << 20)));
-    let ds = RnTree::create(Arc::clone(&ds_pool), RnConfig::default());
-    drive(&ds, "RNTree+DS");
+    let ds = Arc::new(RnTree::create(Arc::clone(&ds_pool), RnConfig::default()));
+    drive(Arc::clone(&ds) as Arc<dyn PersistentIndex>, "RNTree+DS");
     drive(
-        &RnTree::create(mk_pool(), RnConfig { dual_slot: false, ..RnConfig::default() }),
+        Arc::new(RnTree::create(mk_pool(), RnConfig { dual_slot: false, ..RnConfig::default() })),
         "RNTree",
     );
-    drive(&FpTree::create(mk_pool(), false), "FPTree");
+    drive(Arc::new(FpTree::create(mk_pool(), false)), "FPTree");
 
     // Now hammer the (shadowed) RNTree+DS store concurrently while
     // recording exactly what was acknowledged, crash, recover, verify.

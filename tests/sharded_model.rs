@@ -1,0 +1,129 @@
+//! Cross-shard model test: a `ShardedIndex<RnTree>` over a real `PoolSet`
+//! must behave exactly like one `BTreeMap` — point ops and, crucially,
+//! `scan_n`, whose output must be globally key-ordered even though every
+//! shard only sees a hash-scattered subset of the keys.
+//!
+//! The scan cases are chosen to stress the k-way merge:
+//! * starts landing mid-shard (an arbitrary present/absent key),
+//! * spans crossing every shard many times (hash routing interleaves
+//!   neighbouring keys across shards by design),
+//! * requests longer than the whole data set.
+
+use std::collections::BTreeMap;
+
+use index_common::{OpError, PersistentIndex, ShardedIndex};
+use nvm::{PmemConfig, PoolSet, SplitMix64};
+use rntree::{RnConfig, RnTree};
+
+fn fresh(shards: usize) -> (PoolSet, ShardedIndex<RnTree>) {
+    let set = PoolSet::new(PmemConfig::for_testing(shards << 22), shards);
+    let idx = ShardedIndex::<RnTree>::create(&set.handles(), RnConfig::default());
+    (set, idx)
+}
+
+fn assert_scans_match(idx: &ShardedIndex<RnTree>, model: &BTreeMap<u64, u64>, starts: &[u64]) {
+    let mut out = Vec::new();
+    for &start in starts {
+        for n in [0usize, 1, 3, 17, 256, model.len() + 1000] {
+            let got = idx.scan_n(start, n, &mut out);
+            let want: Vec<(u64, u64)> =
+                model.range(start..).take(n).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want.len(), "scan_n({start}, {n}) count");
+            assert_eq!(out, want, "scan_n({start}, {n}) contents");
+        }
+    }
+}
+
+#[test]
+fn randomized_ops_match_btreemap_oracle() {
+    for shards in [1usize, 3, 4] {
+        let (_set, idx) = fresh(shards);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = SplitMix64::new(0xA11CE ^ shards as u64);
+
+        for step in 0..6_000u64 {
+            let key = rng.next_below(2_000) * 7 + 1;
+            match rng.next_below(10) {
+                0..=4 => {
+                    let v = step;
+                    assert_eq!(idx.upsert(key, v), Ok(()));
+                    model.insert(key, v);
+                }
+                5..=6 => {
+                    let r = idx.insert(key, step);
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
+                        assert_eq!(r, Ok(()));
+                        e.insert(step);
+                    } else {
+                        assert_eq!(r, Err(OpError::AlreadyExists), "insert dup {key}");
+                    }
+                }
+                7..=8 => {
+                    let r = idx.remove(key);
+                    if model.remove(&key).is_some() {
+                        assert_eq!(r, Ok(()), "remove present {key}");
+                    } else {
+                        assert_eq!(r, Err(OpError::NotFound), "remove absent {key}");
+                    }
+                }
+                _ => {
+                    assert_eq!(idx.find(key), model.get(&key).copied(), "find {key}");
+                }
+            }
+        }
+
+        assert_eq!(idx.stats().entries, model.len() as u64, "{shards} shards");
+
+        // Starts: below all keys, a present key, mid-range absent keys
+        // (land mid-shard after hashing), the max key, above all keys.
+        let mut starts = vec![0u64, 1, 5_000, 9_999, u64::MAX];
+        starts.extend(model.keys().copied().take(3));
+        if let Some((&max, _)) = model.iter().next_back() {
+            starts.push(max);
+            starts.push(max + 1);
+        }
+        assert_scans_match(&idx, &model, &starts);
+    }
+}
+
+#[test]
+fn scan_interleaves_all_shards() {
+    // Dense sequential keys: hashing scatters neighbours across shards, so
+    // any correct 100-long scan must interleave pairs from every shard.
+    let shards = 4;
+    let (_set, idx) = fresh(shards);
+    let mut model = BTreeMap::new();
+    for k in 1..=2_000u64 {
+        idx.insert(k, k * 2).unwrap();
+        model.insert(k, k * 2);
+    }
+    let mut out = Vec::new();
+    assert_eq!(idx.scan_n(500, 100, &mut out), 100);
+    let touched: std::collections::BTreeSet<usize> =
+        out.iter().map(|&(k, _)| index_common::shard_of(k, shards)).collect();
+    assert_eq!(touched.len(), shards, "a dense scan must cross every shard");
+    assert_scans_match(&idx, &model, &[0, 1, 499, 500, 1_999, 2_000, 2_001]);
+}
+
+#[test]
+fn per_shard_trees_stay_internally_consistent() {
+    let (_set, idx) = fresh(3);
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..3_000 {
+        let k = rng.next_below(10_000);
+        let _ = idx.upsert(k, k);
+    }
+    for _ in 0..1_000 {
+        let k = rng.next_below(10_000);
+        let _ = idx.remove(k);
+    }
+    for i in 0..idx.shard_count() {
+        idx.shard(i).verify_invariants().unwrap_or_else(|e| panic!("shard {i}: {e}"));
+        // Every key in shard i must actually hash home to shard i.
+        let mut out = Vec::new();
+        idx.shard(i).scan_n(0, usize::MAX >> 1, &mut out);
+        for (k, _) in out {
+            assert_eq!(index_common::shard_of(k, 3), i, "key {k} on wrong shard {i}");
+        }
+    }
+}

@@ -10,13 +10,18 @@ use nvm::{PmemConfig, PmemPool};
 use rntree::{RnConfig, RnTree};
 use ycsb::{run_closed_loop, run_open_loop, KeyDist, WorkloadSpec};
 
-fn rn_tree(n: u64) -> RnTree {
+fn rn_tree(n: u64) -> Arc<RnTree> {
     let pool = Arc::new(PmemPool::new(PmemConfig::fast(1 << 26)));
     let tree = RnTree::create(pool, RnConfig::default());
     for k in 1..=n {
         tree.insert(k, k).unwrap();
     }
-    tree
+    Arc::new(tree)
+}
+
+/// Upcasts a concrete tree handle into the driver's trait-object form.
+fn driver_handle<T: PersistentIndex + 'static>(tree: &Arc<T>) -> Arc<dyn PersistentIndex> {
+    Arc::clone(tree) as Arc<dyn PersistentIndex>
 }
 
 #[test]
@@ -24,7 +29,7 @@ fn closed_loop_ycsb_a_on_rntree() {
     let n = 10_000;
     let tree = rn_tree(n);
     let spec = WorkloadSpec::ycsb_a(KeyDist::Uniform { n });
-    let r = run_closed_loop(&tree, &spec, 3, Duration::from_millis(300), 11);
+    let r = run_closed_loop(&driver_handle(&tree), &spec, 3, Duration::from_millis(300), 11);
     assert!(r.ops > 1_000, "ops={}", r.ops);
     assert!(r.read_lat.count() > 0 && r.update_lat.count() > 0);
     // 50/50 mix within tolerance.
@@ -37,12 +42,12 @@ fn closed_loop_ycsb_a_on_rntree() {
 fn closed_loop_zipfian_on_fptree() {
     let n = 10_000;
     let pool = Arc::new(PmemPool::new(PmemConfig::fast(1 << 26)));
-    let tree = FpTree::create(pool, false);
+    let tree = Arc::new(FpTree::create(pool, false));
     for k in 1..=n {
         tree.insert(k, k).unwrap();
     }
     let spec = WorkloadSpec::ycsb_a(KeyDist::ScrambledZipfian { n, theta: 0.9 });
-    let r = run_closed_loop(&tree, &spec, 3, Duration::from_millis(300), 13);
+    let r = run_closed_loop(&driver_handle(&tree), &spec, 3, Duration::from_millis(300), 13);
     assert!(r.ops > 1_000);
     tree.verify_invariants().unwrap();
     // Skewed writers force leaf-lock conflicts: some finds must have
@@ -57,7 +62,7 @@ fn open_loop_latency_includes_queueing() {
     let tree = rn_tree(n);
     let spec = WorkloadSpec::ycsb_a(KeyDist::ScrambledZipfian { n, theta: 0.8 });
     // Low offered load: latency must be far below the inter-arrival time.
-    let r = run_open_loop(&tree, &spec, 2, 500.0, Duration::from_millis(400), 17);
+    let r = run_open_loop(&driver_handle(&tree), &spec, 2, 500.0, Duration::from_millis(400), 17);
     assert!(r.ops > 100);
     assert!(
         r.read_lat.quantile(0.5) < 2_000_000,
@@ -79,7 +84,7 @@ fn scan_workload_through_driver() {
         dist: KeyDist::Uniform { n },
         scan_len: 100,
     };
-    let r = run_closed_loop(&tree, &spec, 2, Duration::from_millis(300), 19);
+    let r = run_closed_loop(&driver_handle(&tree), &spec, 2, Duration::from_millis(300), 19);
     assert!(r.other_lat.count() > 0, "scans must have run");
     // Scans of 100 sorted keys cost more than point reads.
     assert!(
@@ -103,7 +108,7 @@ fn insert_heavy_workload_grows_tree() {
         dist: KeyDist::Uniform { n },
         scan_len: 0,
     };
-    let r = run_closed_loop(&tree, &spec, 2, Duration::from_millis(200), 23);
+    let r = run_closed_loop(&driver_handle(&tree), &spec, 2, Duration::from_millis(200), 23);
     assert!(r.ops > 100);
     let after = tree.stats().entries;
     assert!(after > before, "inserts did not grow the tree");
@@ -115,9 +120,9 @@ fn mixed_trait_objects_share_one_driver() {
     // The harness treats every tree uniformly through the trait; verify
     // the pipeline works for a heterogeneous set.
     let n = 2_000u64;
-    let trees: Vec<Box<dyn PersistentIndex>> = vec![
-        Box::new(rn_tree(n)),
-        Box::new({
+    let trees: Vec<Arc<dyn PersistentIndex>> = vec![
+        rn_tree(n),
+        Arc::new({
             let pool = Arc::new(PmemPool::new(PmemConfig::fast(1 << 25)));
             let t = FpTree::create(pool, false);
             for k in 1..=n {
@@ -129,7 +134,7 @@ fn mixed_trait_objects_share_one_driver() {
     let spec = WorkloadSpec::ycsb_b(KeyDist::Uniform { n });
     for tree in &trees {
         let threads = if tree.supports_concurrency() { 2 } else { 1 };
-        let r = run_closed_loop(&**tree, &spec, threads, Duration::from_millis(150), 29);
+        let r = run_closed_loop(tree, &spec, threads, Duration::from_millis(150), 29);
         assert!(r.ops > 100, "{} produced {} ops", tree.name(), r.ops);
     }
 }
