@@ -7,9 +7,11 @@
 //!
 //! Subcommands: `table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablation all`,
 //! plus `bench-json` (machine-readable single-thread before/after numbers
-//! for the hot-path work, written to `BENCH_PR1.json` or `--out PATH`) and
+//! for the hot-path work, written to `BENCH_PR1.json` or `--out PATH`),
 //! `shard-scale` (sharded-substrate throughput/recovery sweep, written to
-//! `BENCH_PR2.json` or `--out PATH`).
+//! `BENCH_PR2.json` or `--out PATH`), and `batch-scale` (batched write
+//! pipeline: load_sorted vs insert-loop fill plus an insert_batch batch-
+//! size sweep, written to `BENCH_PR3.json` or `--out PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
 //! `--out PATH`.
@@ -21,7 +23,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH]"
     );
@@ -35,8 +37,11 @@ fn main() {
     }
     let cmd = args[0].clone();
     let mut scale = Scale::default();
-    let mut out_path =
-        String::from(if cmd == "shard-scale" { "BENCH_PR2.json" } else { "BENCH_PR1.json" });
+    let mut out_path = String::from(match cmd.as_str() {
+        "shard-scale" => "BENCH_PR2.json",
+        "batch-scale" => "BENCH_PR3.json",
+        _ => "BENCH_PR1.json",
+    });
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -107,6 +112,7 @@ fn main() {
         "breakdown" => experiments::breakdown(&scale),
         "bench-json" => bench::prbench::bench_json(&scale, &out_path),
         "shard-scale" => bench::shardbench::shard_scale(&scale, &out_path),
+        "batch-scale" => bench::batchbench::batch_scale(&scale, &out_path),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

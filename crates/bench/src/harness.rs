@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use baselines::{CddsTree, FpTree, NvTree, WbTree, WbVariant};
 use index_common::PersistentIndex;
-use nvm::{PmemConfig, PmemPool, SplitMix64};
+use nvm::{PmemConfig, PmemPool};
 use rntree::{RnConfig, RnTree};
 
 /// Every tree the evaluation builds.
@@ -108,13 +108,17 @@ pub fn build_tree(kind: TreeKind, pool: Arc<PmemPool>, seq: bool) -> Arc<dyn Per
     }
 }
 
-/// Warms a tree with keys `1..=n` (shuffled, deterministic), value = key.
+/// Warms a (fresh, empty) tree with keys `1..=n`, value = key, through the
+/// batched bulk-load path: [`PersistentIndex::load_sorted`] builds full
+/// leaves directly on trees that support it (RNTree) and falls back to a
+/// sorted upsert replay on the baselines. Severalfold faster than the old
+/// shuffled upsert loop, and every benchmark pays it before each measured
+/// window. The `seed` parameter is kept for call-site compatibility; the
+/// loaded contents are order-independent, so it no longer matters.
 pub fn warm(tree: &dyn PersistentIndex, n: u64, seed: u64) {
-    let mut keys: Vec<u64> = (1..=n).collect();
-    SplitMix64::new(seed).shuffle(&mut keys);
-    for k in keys {
-        tree.upsert(k, k).expect("warm insert failed");
-    }
+    let _ = seed;
+    let pairs: Vec<(u64, u64)> = (1..=n).map(|k| (k, k)).collect();
+    tree.load_sorted(&pairs).expect("warm bulk load failed");
 }
 
 /// Run-scale knobs shared by every experiment.

@@ -22,6 +22,7 @@
 //! about *shape*: who wins, by roughly what factor, and where crossovers
 //! happen. EXPERIMENTS.md records paper-vs-measured per experiment.
 
+pub mod batchbench;
 pub mod experiments;
 pub mod harness;
 pub mod microbench;

@@ -29,6 +29,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -140,31 +141,57 @@ impl<T: RecoverableIndex + Send> ShardedIndex<T> {
     }
 }
 
-/// Opens one tree per pool on its own thread; results come back in shard
-/// order together with each shard's open/rebuild wall-clock time.
+/// Opens one tree per pool; results come back in shard order together with
+/// each shard's open/rebuild wall-clock time.
+///
+/// A single shard opens inline — spawning (and then joining) one thread
+/// just to run one rebuild costs more than the rebuild itself at small
+/// tree sizes, which showed up as a 1-shard-vs-2-shard recovery *regression*
+/// in the PR 2 numbers. Multiple shards are opened by a worker pool sized
+/// to `min(shards, available_parallelism)`, each worker pulling shard
+/// indices from a shared counter, so oversharded sets (more shards than
+/// cores) no longer pay per-thread spawn/teardown either.
 fn open_parallel<T, F>(pools: &[Arc<PmemPool>], cfg: T::Config, open: F) -> (Vec<T>, Vec<Duration>)
 where
     T: RecoverableIndex + Send,
     F: Fn(Arc<PmemPool>, T::Config) -> T + Send + Sync,
 {
     assert!(!pools.is_empty(), "ShardedIndex needs at least one shard pool");
-    let open = &open;
-    let results: Vec<(T, Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = pools
-            .iter()
-            .map(|pool| {
-                let pool = Arc::clone(pool);
-                let cfg = cfg.clone();
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let tree = open(pool, cfg);
-                    (tree, t0.elapsed())
+    let timed_open = |i: usize| {
+        let t0 = Instant::now();
+        let tree = open(Arc::clone(&pools[i]), cfg.clone());
+        (i, tree, t0.elapsed())
+    };
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(pools.len());
+    let mut opened: Vec<(usize, T, Duration)> = if workers <= 1 || pools.len() == 1 {
+        (0..pools.len()).map(timed_open).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let timed_open = &timed_open;
+        let next = &next;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= pools.len() {
+                                return local;
+                            }
+                            local.push(timed_open(i));
+                        }
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("shard open thread panicked")).collect()
-    });
-    results.into_iter().unzip()
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard open thread panicked"))
+                .collect()
+        })
+    };
+    opened.sort_by_key(|&(i, _, _)| i);
+    opened.into_iter().map(|(_, tree, t)| (tree, t)).unzip()
 }
 
 impl<T: PersistentIndex> PersistentIndex for ShardedIndex<T> {
@@ -223,6 +250,74 @@ impl<T: PersistentIndex> PersistentIndex for ShardedIndex<T> {
             }
         }
         out.len()
+    }
+
+    /// Partitions the pairs by home shard and bulk-loads every non-empty
+    /// shard in parallel (one loader thread per shard when more than one
+    /// shard receives keys). Partitioning is order-preserving and each
+    /// shard's loader sorts its own sub-batch, so the per-shard contract is
+    /// unchanged. Returns the first shard error, if any.
+    fn load_sorted(&self, pairs: &[(Key, Value)]) -> Result<(), OpError> {
+        let n = self.shards.len();
+        if n == 1 {
+            return self.shards[0].load_sorted(pairs);
+        }
+        let mut parts: Vec<Vec<(Key, Value)>> = vec![Vec::new(); n];
+        for &(k, v) in pairs {
+            parts[shard_of(k, n)].push((k, v));
+        }
+        let loaded: Vec<Result<(), OpError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&parts)
+                .filter(|(_, part)| !part.is_empty())
+                .map(|(shard, part)| scope.spawn(move || shard.load_sorted(part)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard load thread panicked")).collect()
+        });
+        loaded.into_iter().collect()
+    }
+
+    /// Partitions the batch by home shard and applies the per-shard
+    /// sub-batches — in parallel (one thread per shard) when the batch is
+    /// large enough to amortise the spawns. The caller's slice is
+    /// rewritten in shard-major order with each sub-batch sorted (the order
+    /// the shards observed), and the returned vector aligns with that
+    /// rewritten slice, preserving the trait's per-key reporting contract.
+    fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        let n = self.shards.len();
+        if n == 1 {
+            return self.shards[0].insert_batch(batch);
+        }
+        let mut parts: Vec<Vec<(Key, Value)>> = vec![Vec::new(); n];
+        for &(k, v) in batch.iter() {
+            parts[shard_of(k, n)].push((k, v));
+        }
+        // Below ~64 keys/shard the spawn+join overhead beats the win from
+        // parallel sub-batches; apply inline in that regime.
+        let parallel = batch.len() >= 64 * n && std::thread::available_parallelism().map_or(1, |p| p.get()) > 1;
+        let outcomes: Vec<Vec<Result<(), OpError>>> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .zip(parts.iter_mut())
+                    .map(|(shard, part)| scope.spawn(move || shard.insert_batch(part)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard batch thread panicked")).collect()
+            })
+        } else {
+            self.shards.iter().zip(parts.iter_mut()).map(|(s, p)| s.insert_batch(p)).collect()
+        };
+        let mut w = 0usize;
+        for part in &parts {
+            for &kv in part {
+                batch[w] = kv;
+                w += 1;
+            }
+        }
+        outcomes.into_iter().flatten().collect()
     }
 
     fn name(&self) -> &'static str {

@@ -77,6 +77,48 @@ pub trait PersistentIndex: Send + Sync {
     /// This is the paper's range query with a count-based filter function.
     fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize;
 
+    /// Bulk-loads `pairs` into an **empty** index. The input need not be
+    /// pre-sorted or unique: implementations sort it and resolve duplicate
+    /// keys with the *last* occurrence winning (upsert semantics), so the
+    /// result equals replaying the pairs through [`PersistentIndex::upsert`].
+    ///
+    /// The default implementation does exactly that replay. Trees with a
+    /// real bulk loader (RNTree) override it to build full leaves directly
+    /// at a fraction of the per-key persist cost; callers (benchmark
+    /// warm-up, YCSB load phase) use this method and transparently get
+    /// whichever path the tree provides.
+    ///
+    /// # Errors
+    /// [`OpError::PoolExhausted`] if the index cannot hold the pairs.
+    fn load_sorted(&self, pairs: &[(Key, Value)]) -> Result<(), OpError> {
+        let mut sorted = pairs.to_vec();
+        sorted.sort_by_key(|p| p.0); // stable: last duplicate still wins
+        for &(k, v) in &sorted {
+            self.upsert(k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Batched conditional insert: applies every pair of `batch` with
+    /// [`PersistentIndex::insert`] semantics per key, reporting each key's
+    /// outcome individually.
+    ///
+    /// The batch is sorted in place (stably) first; element `i` of the
+    /// returned vector reports on `batch[i]` *as the caller observes the
+    /// slice after the call*. Of duplicated keys within one batch, the
+    /// first occurrence (in pre-sort order) is applied and the rest report
+    /// [`OpError::AlreadyExists`].
+    ///
+    /// The default implementation is a per-key insert loop over the sorted
+    /// batch. Trees with a batched write path (RNTree) override it to
+    /// amortise traversal, locking, and persists across same-leaf runs; a
+    /// sharded index overrides it to partition by shard and apply sub-
+    /// batches in parallel.
+    fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        batch.sort_by_key(|p| p.0);
+        batch.iter().map(|&(k, v)| self.insert(k, v)).collect()
+    }
+
     /// Short name for benchmark tables ("RNTree", "FPTree", …).
     fn name(&self) -> &'static str;
 

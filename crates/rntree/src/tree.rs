@@ -34,7 +34,7 @@ use nvm::{BlockAllocator, PmemPool, RootTable};
 
 use crate::fingerprint::{fp_hash, FpTable};
 use crate::journal::SplitJournal;
-use crate::layout::{LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
+use crate::layout::{field, kv_off, LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
 use crate::leaf::{Leaf, WhichSlot};
 use crate::slots::SlotBuf;
 
@@ -624,6 +624,10 @@ impl RnTree {
             return 0;
         }
         let mut cursor = start;
+        // Per-leaf staging buffer, reused across every leaf this scan
+        // visits (and across validation retries): the capacity sticks, so
+        // only the first leaf of a cold scan ever allocates.
+        let mut tmp: Vec<(Key, Value)> = Vec::new();
         'traverse: loop {
             let mut leaf_off = self.traverse(cursor);
             loop {
@@ -640,7 +644,7 @@ impl RnTree {
                 let from = match leaf.search(&slot, cursor) {
                     Ok(p) | Err(p) => p,
                 };
-                let mut tmp: Vec<(Key, Value)> = Vec::with_capacity(slot.len() - from);
+                tmp.clear();
                 for pos in from..slot.len() {
                     let e = slot.entry(pos);
                     tmp.push((leaf.read_key(e), leaf.read_value(e)));
@@ -649,7 +653,7 @@ impl RnTree {
                     self.note_retry();
                     continue 'traverse;
                 }
-                for kv in tmp {
+                for &kv in &tmp {
                     out.push(kv);
                     if out.len() == n {
                         return n;
@@ -727,6 +731,289 @@ impl RnTree {
                 }
             };
         }
+    }
+
+    // ---------------------------------------------------------------- batch
+
+    /// Bulk-loads `pairs` into an **empty** tree, building full leaves
+    /// directly instead of replaying per-key inserts (DESIGN.md §5d).
+    ///
+    /// The input need not be sorted or unique: it is sorted here (stably)
+    /// and deduplicated with the *last* occurrence of a key winning —
+    /// upsert semantics, matching what replaying the pairs through
+    /// `upsert` would produce.
+    ///
+    /// Persistence cost is 2 persistent instructions per **leaf** — one
+    /// coalesced [`nvm::PmemPool::persist_many`] over the dirtied KV lines
+    /// plus the header line, then the slot-array line, in the same
+    /// KV-before-slot publication order as the per-op path — plus a
+    /// constant 3 for the undo journal, instead of 2 per *key*.
+    ///
+    /// Crash safety: the pre-image of the (empty) head leaf is undo-logged
+    /// before anything is rewritten, and leaves are built right-to-left so
+    /// every persisted `next` pointer targets an already-durable sibling.
+    /// A crash anywhere mid-load therefore recovers to the empty tree (the
+    /// journal rollback cuts the chain at the head, and the allocator
+    /// rebuild reclaims the unreachable part-built leaves): the load is
+    /// all-or-nothing.
+    ///
+    /// # Errors
+    /// [`OpError::PoolExhausted`] if the pool cannot hold the leaves; the
+    /// tree is unchanged in that case.
+    ///
+    /// # Panics
+    /// Panics if the tree is not empty. Quiescent phases only (warm-up,
+    /// initial fill): the caller must guarantee no concurrent operations.
+    pub fn load_sorted(&self, pairs: &[(Key, Value)]) -> Result<(), OpError> {
+        let head = Leaf::at(&self.pool, self.leftmost);
+        assert!(
+            head.read_slot_seq(WhichSlot::Persistent).is_empty() && head.next() == 0,
+            "load_sorted requires an empty tree"
+        );
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut sorted: Vec<(Key, Value)> = pairs.to_vec();
+        sorted.sort_by_key(|p| p.0); // stable: equal keys keep input order
+        sorted.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1; // last occurrence wins (upsert)
+                true
+            } else {
+                false
+            }
+        });
+        let chunks: Vec<&[(Key, Value)]> = sorted.chunks(MAX_LIVE).collect();
+        let mut blocks: Vec<u64> = Vec::with_capacity(chunks.len());
+        blocks.push(self.leftmost);
+        for _ in 1..chunks.len() {
+            match self.alloc.alloc() {
+                Some(b) => blocks.push(b),
+                None => {
+                    for &b in &blocks[1..] {
+                        self.alloc.free(b);
+                    }
+                    self.pool_exhausted.store(true, Ordering::Relaxed);
+                    return Err(OpError::PoolExhausted);
+                }
+            }
+        }
+        // Undo-log the head before touching anything: the rollback image is
+        // the empty leaf, so replaying the journal after a mid-load crash
+        // restores an empty (chain-cut) tree.
+        let jslot = self.journal.acquire();
+        self.journal.log(&self.pool, jslot, self.leftmost);
+        for i in (0..chunks.len()).rev() {
+            let last = i == chunks.len() - 1;
+            let max_key = chunks[i].last().expect("chunks are non-empty").0;
+            let fence = if last { u64::MAX } else { max_key };
+            let next = if last { 0 } else { blocks[i + 1] };
+            self.init_leaf_batched(Leaf::at(&self.pool, blocks[i]), chunks[i], fence, next);
+        }
+        self.journal.clear(&self.pool, jslot);
+        let routes: Vec<(Key, u64)> = chunks
+            .iter()
+            .zip(&blocks)
+            .map(|(c, &b)| (c.last().expect("chunks are non-empty").0, leaf_ref(b)))
+            .collect();
+        self.index.bulk_build(&routes);
+        Ok(())
+    }
+
+    /// Formats `leaf` with `pairs` stored densely in key order using
+    /// exactly two persistent instructions: one coalesced flush of the
+    /// header line + dirtied KV lines, then the slot-array line. The leaf
+    /// must be private to the caller (bulk load under the quiescence
+    /// contract).
+    fn init_leaf_batched(&self, leaf: Leaf<'_>, pairs: &[(Key, Value)], fence: u64, next: u64) {
+        debug_assert!(!pairs.is_empty() && pairs.len() <= MAX_LIVE);
+        leaf.reset_lockver();
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            leaf.write_kv(i, k, v);
+            if self.cfg.fingerprints {
+                self.fps.set(leaf.off(), i, fp_hash(k));
+            }
+        }
+        leaf.set_nlogs(pairs.len() as u64);
+        leaf.set_plogs(pairs.len() as u64);
+        leaf.set_next(next);
+        leaf.set_fence(fence);
+        // Persistent instruction #1: one CLWB batch + one fence covering
+        // the header line and every dirtied KV line.
+        self.pool.persist_many(&[
+            (leaf.off() + field::LOCKVER, 64),
+            (leaf.off() + field::KV, pairs.len() as u64 * 16),
+        ]);
+        let slot = SlotBuf::identity(pairs.len());
+        leaf.write_slot_seq(WhichSlot::Persistent, &slot);
+        leaf.write_slot_seq(WhichSlot::Transient, &slot);
+        // Persistent instruction #2: the slot line, published only after
+        // the KV entries it references are durable.
+        leaf.persist_pslot();
+    }
+
+    /// Inserts every pair of `batch` (strict-insert semantics per key),
+    /// amortising traversal, locking, and persists across *runs* of keys
+    /// that land in the same leaf (DESIGN.md §5d).
+    ///
+    /// The batch is sorted in place first (stably, so the **first**
+    /// occurrence of a duplicated key is the one applied; later
+    /// occurrences report [`OpError::AlreadyExists`]). The returned vector
+    /// aligns with the *sorted* batch — element `i` reports on `batch[i]`
+    /// as the caller observes the slice after the call returns.
+    ///
+    /// Each run executes under a single leaf lock with a single slot-array
+    /// persist (preceded by one coalesced KV-line persist), so a run of
+    /// `r` fresh keys costs 2 persistent instructions instead of `2r`.
+    /// When a run overflows its leaf, the applied prefix commits, the leaf
+    /// splits through the normal journal-protected path, and the remainder
+    /// re-traverses.
+    ///
+    /// Durability contract (DESIGN.md §5d): each run commits atomically at
+    /// its slot-line persist, runs commit in sorted-key order, and every
+    /// reported key is durable when the call returns. A crash mid-batch
+    /// recovers to a run-granular prefix of the sorted batch.
+    pub fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        batch.sort_by_key(|p| p.0);
+        let mut results: Vec<Result<(), OpError>> = vec![Ok(()); batch.len()];
+        let mut i = 0usize;
+        let mut starved = 0u32;
+        while i < batch.len() {
+            let key = batch[i].0;
+            let leaf = Leaf::at(&self.pool, self.traverse(key));
+            if self.cfg.leaf_prefetch {
+                leaf.prefetch_hot(0);
+                self.fps.prefetch_stripe(leaf.off());
+            }
+            leaf.lock();
+            if key > leaf.fence() {
+                leaf.unlock(false);
+                self.note_retry();
+                continue; // stale route (split won the race); re-traverse
+            }
+            // Run formation: the maximal prefix of remaining keys covered
+            // by this leaf's range. The traversal put `key` here, so every
+            // following key up to the fence belongs here too.
+            let fence = leaf.fence();
+            let run_len = batch[i..].partition_point(|p| p.0 <= fence);
+            let consumed = self.apply_run(leaf, &batch[i..i + run_len], &mut results[i..i + run_len]);
+            if consumed > 0 {
+                starved = 0;
+                i += consumed;
+                continue;
+            }
+            // No progress: the leaf is full. Help the (possibly deferred or
+            // allocation-starved) split along, and fail the key instead of
+            // spinning forever when the pool is exhausted — exactly the
+            // per-op `modify` policy.
+            self.help_split(leaf);
+            if self.starved(&mut starved) {
+                results[i] = Err(OpError::PoolExhausted);
+                i += 1;
+                starved = 0;
+            }
+            self.note_retry();
+        }
+        results
+    }
+
+    /// Applies one run of sorted keys to `leaf` under its (already held)
+    /// lock; unlocks before returning. Returns the number of keys consumed
+    /// (applied or rejected as duplicates); on overflow the remainder is
+    /// left for the caller to retry after the split this run triggers.
+    fn apply_run(
+        &self,
+        leaf: Leaf<'_>,
+        run: &[(Key, Value)],
+        results: &mut [Result<(), OpError>],
+    ) -> usize {
+        let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
+        let mut dirty: Vec<(u64, u64)> = Vec::with_capacity(run.len());
+        let mut decided = 0u64;
+        let mut consumed = 0usize;
+        let mut changed = false;
+        for (ri, &(k, v)) in run.iter().enumerate() {
+            match leaf.search(&slot, k) {
+                Ok(_) => {
+                    // Present in the leaf (or earlier in this run): strict
+                    // insert rejects without consuming a log entry.
+                    results[ri] = Err(OpError::AlreadyExists);
+                    consumed += 1;
+                }
+                Err(pos) => {
+                    if slot.len() == MAX_LIVE {
+                        // Slot array full. Deliberately waste one log entry:
+                        // `plogs` counts decisions and decisions drive the
+                        // split trigger, exactly like the per-op Overfull
+                        // path — without this a full leaf whose log area
+                        // still has room would never split.
+                        if leaf.alloc_entry().is_some() {
+                            decided += 1;
+                            self.wasted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                    let Some(entry) = leaf.alloc_entry() else {
+                        break; // log area exhausted; split, then retry
+                    };
+                    decided += 1;
+                    leaf.write_kv(entry, k, v);
+                    if self.cfg.fingerprints {
+                        self.fps.set(leaf.off(), entry, fp_hash(k));
+                    }
+                    dirty.push((leaf.off() + kv_off(entry), 16));
+                    slot.insert_at(pos, entry);
+                    changed = true;
+                    consumed += 1;
+                }
+            }
+        }
+        if changed {
+            // Persistent instruction #1 for the whole run: the dirtied KV
+            // lines, coalesced (entries sharing a line flush once), durable
+            // strictly before the slot line below (publication order).
+            self.pool.persist_many(&dirty);
+            // One slot-array edit for the whole run. Transactional even
+            // under the lock: single-slot readers snapshot this line
+            // optimistically and must never observe a torn buffer.
+            if self.cfg.seq_traversal {
+                leaf.write_slot_seq(WhichSlot::Persistent, &slot);
+            } else {
+                self.index
+                    .domain()
+                    .atomic(|txn| leaf.write_slot_in(txn, WhichSlot::Persistent, &slot));
+            }
+            // Persistent instruction #2: the run commits here, atomically.
+            leaf.persist_pslot();
+            if self.cfg.dual_slot {
+                if self.cfg.seq_traversal {
+                    leaf.write_slot_seq(WhichSlot::Transient, &slot);
+                } else {
+                    self.index
+                        .domain()
+                        .atomic(|txn| leaf.write_slot_in(txn, WhichSlot::Transient, &slot));
+                }
+            }
+        }
+        // Count the run's decisions in one step and run the (possibly
+        // deferred) split when they consumed the log area — the same
+        // trigger and quiescence check as the per-op path.
+        let mut did_split = false;
+        if decided > 0 {
+            let plogs = leaf.plogs() + decided;
+            leaf.set_plogs(plogs);
+            if plogs >= (LEAF_CAPACITY - 1) as u64 {
+                leaf.set_split();
+                if leaf.nlogs() == plogs {
+                    self.split_or_compact(leaf);
+                    did_split = true;
+                } else {
+                    leaf.unset_split_nobump();
+                }
+            }
+        }
+        leaf.unlock(!self.cfg.dual_slot && changed && !did_split);
+        consumed
     }
 
     // ---------------------------------------------------------------- checks
@@ -836,6 +1123,14 @@ impl PersistentIndex for RnTree {
 
     fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
         self.scan_impl(start, n, out)
+    }
+
+    fn load_sorted(&self, pairs: &[(Key, Value)]) -> Result<(), OpError> {
+        RnTree::load_sorted(self, pairs)
+    }
+
+    fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        RnTree::insert_batch(self, batch)
     }
 
     fn name(&self) -> &'static str {
