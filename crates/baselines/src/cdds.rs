@@ -289,6 +289,13 @@ impl PersistentIndex for CddsTree {
     }
 }
 
+impl obs::ObsSource for CddsTree {
+    /// The shared baseline sections (`tree`, `pmem`, `events`).
+    fn obs_sections(&self) -> Vec<(String, obs::Section)> {
+        crate::common::substrate_sections(self, &self.s)
+    }
+}
+
 impl index_common::RecoverableIndex for CddsTree {
     /// `seq_traversal`: single-threaded benchmark mode.
     type Config = bool;

@@ -9,8 +9,9 @@
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use index_common::{leaf_ref, InnerIndex, Key};
+use index_common::{leaf_ref, InnerIndex, Key, PersistentIndex};
 use nvm::{BlockAllocator, PmemPool, RootTable, UndoJournal};
+use obs::{EventKind, Section};
 
 /// Root-table slots shared by all baseline layouts.
 pub(crate) mod roots {
@@ -85,7 +86,13 @@ impl Substrate {
         assert_eq!(RootTable::get(&pool, roots::MAGIC), magic, "pool does not hold this tree type");
         let region = RootTable::END;
         let journal = UndoJournal::new(region, JOURNAL_SLOTS, block);
-        journal.recover(&pool);
+        // Recovery steps land in the pool's event ring, same as RNTree's
+        // recovery path, so baseline crash forensics read identically.
+        let rolled_back = journal.recover(&pool);
+        for &leaf_off in &rolled_back {
+            pool.events().record(EventKind::JournalRollback, leaf_off, 0);
+        }
+        pool.events().record(EventKind::RecoveryJournal, rolled_back.len() as u64, 0);
         let leaf_region = region + UndoJournal::region_bytes(JOURNAL_SLOTS, block);
         let alloc = BlockAllocator::new(leaf_region, pool.len(), block);
         let leftmost = RootTable::get(&pool, roots::LEFTMOST);
@@ -101,11 +108,14 @@ impl Substrate {
             }
             off = next;
         }
+        pool.events().record(EventKind::RecoveryLeafChain, reachable.len() as u64, pairs.len() as u64);
         alloc.rebuild(&reachable);
+        pool.events().record(EventKind::RecoveryAlloc, reachable.len() as u64, 0);
         let index = InnerIndex::new(leaf_ref(leftmost));
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
+        pool.events().record(EventKind::RecoveryIndex, pairs.len() as u64, 0);
         Substrate {
             pool,
             alloc,
@@ -127,6 +137,21 @@ impl Substrate {
             self.index.traverse_tm(key)
         }
     }
+}
+
+/// The observability sections every baseline shares: `tree` (structure
+/// counters from [`PersistentIndex::stats`] plus the substrate's
+/// split/compaction counters), `pmem` (the pool's persistence
+/// instructions), and `events` (the pool's crash-forensics ring).
+/// Trees with extra state (FPTree's HTM domain) append their own.
+pub(crate) fn substrate_sections(tree: &dyn PersistentIndex, s: &Substrate) -> Vec<(String, Section)> {
+    let mut counters = tree.stats().counters();
+    counters.push(("compactions".into(), s.compactions.load(std::sync::atomic::Ordering::Relaxed)));
+    vec![
+        ("tree".to_string(), Section::Counters(counters)),
+        ("pmem".to_string(), Section::Counters(s.pool.stats().snapshot().counters())),
+        ("events".to_string(), Section::Events(s.pool.events().dump())),
+    ]
 }
 
 /// One-byte key fingerprint (FPTree §3.1 of the original paper).

@@ -461,6 +461,24 @@ impl PersistentIndex for FpTree {
     }
 }
 
+impl obs::ObsSource for FpTree {
+    /// The shared baseline sections plus FPTree's HTM abort taxonomy
+    /// and retries-to-commit distribution (it is the only baseline with
+    /// an HTM domain of its own).
+    fn obs_sections(&self) -> Vec<(String, obs::Section)> {
+        let mut out = crate::common::substrate_sections(self, &self.s);
+        out.push(("htm".to_string(), obs::Section::Counters(self.htm_stats().counters())));
+        out.push((
+            "htm_retries".to_string(),
+            obs::Section::Latencies(vec![(
+                "retries_to_commit".to_string(),
+                self.s.index.domain().stats().retries_to_commit(),
+            )]),
+        ));
+        out
+    }
+}
+
 impl index_common::RecoverableIndex for FpTree {
     /// `seq_traversal`: single-threaded benchmark mode.
     type Config = bool;

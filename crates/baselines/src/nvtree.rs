@@ -353,6 +353,13 @@ impl PersistentIndex for NvTree {
     }
 }
 
+impl obs::ObsSource for NvTree {
+    /// The shared baseline sections (`tree`, `pmem`, `events`).
+    fn obs_sections(&self) -> Vec<(String, obs::Section)> {
+        crate::common::substrate_sections(self, &self.s)
+    }
+}
+
 impl index_common::RecoverableIndex for NvTree {
     /// `(seq_traversal, conditional)`: single-threaded benchmark mode and
     /// conditional-write support (Figure 5's variant).

@@ -463,6 +463,13 @@ impl PersistentIndex for WbTree {
     }
 }
 
+impl obs::ObsSource for WbTree {
+    /// The shared baseline sections (`tree`, `pmem`, `events`).
+    fn obs_sections(&self) -> Vec<(String, obs::Section)> {
+        crate::common::substrate_sections(self, &self.s)
+    }
+}
+
 impl index_common::RecoverableIndex for WbTree {
     /// `(variant, seq_traversal)`.
     type Config = (WbVariant, bool);

@@ -9,12 +9,17 @@
 //! plus `bench-json` (machine-readable single-thread before/after numbers
 //! for the hot-path work, written to `BENCH_PR1.json` or `--out PATH`),
 //! `shard-scale` (sharded-substrate throughput/recovery sweep, written to
-//! `BENCH_PR2.json` or `--out PATH`), and `batch-scale` (batched write
+//! `BENCH_PR2.json` or `--out PATH`), `batch-scale` (batched write
 //! pipeline: load_sorted vs insert-loop fill plus an insert_batch batch-
-//! size sweep, written to `BENCH_PR3.json` or `--out PATH`).
+//! size sweep, written to `BENCH_PR3.json` or `--out PATH`), and
+//! `obs-report` (unified observability snapshot: per-op latency
+//! quantiles, HTM abort taxonomy, phase breakdown, crash forensics, and
+//! the instrumentation-overhead measurement, written to `BENCH_PR4.json`
+//! plus a sibling `.prom` Prometheus file).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
-//! `--out PATH`.
+//! `--out PATH`, `--assert-overhead PCT` (obs-report only: fail the run
+//! if enabled-instrumentation overhead exceeds PCT percent).
 
 use std::time::Duration;
 
@@ -23,9 +28,9 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
-         [--latency-ns N] [--workers N] [--seed N] [--out PATH]"
+         [--latency-ns N] [--workers N] [--seed N] [--out PATH] [--assert-overhead PCT]"
     );
     std::process::exit(2);
 }
@@ -40,8 +45,10 @@ fn main() {
     let mut out_path = String::from(match cmd.as_str() {
         "shard-scale" => "BENCH_PR2.json",
         "batch-scale" => "BENCH_PR3.json",
+        "obs-report" => "BENCH_PR4.json",
         _ => "BENCH_PR1.json",
     });
+    let mut assert_overhead: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,6 +91,11 @@ fn main() {
                 out_path = args.get(i + 1).unwrap_or_else(|| usage()).clone();
                 i += 2;
             }
+            "--assert-overhead" => {
+                assert_overhead =
+                    Some(args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -113,6 +125,7 @@ fn main() {
         "bench-json" => bench::prbench::bench_json(&scale, &out_path),
         "shard-scale" => bench::shardbench::shard_scale(&scale, &out_path),
         "batch-scale" => bench::batchbench::batch_scale(&scale, &out_path),
+        "obs-report" => bench::obsbench::obs_report(&scale, &out_path, assert_overhead),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

@@ -26,6 +26,7 @@ pub mod batchbench;
 pub mod experiments;
 pub mod harness;
 pub mod microbench;
+pub mod obsbench;
 pub mod prbench;
 pub mod report;
 pub mod shardbench;

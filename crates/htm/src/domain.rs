@@ -103,6 +103,9 @@ impl HtmDomain {
         });
         let _reset = ResetOnDrop;
         let mut conflicts = 0u32;
+        // Aborts of any cause suffered so far by this logical section;
+        // feeds the retries-to-commit histogram on success.
+        let mut retries = 0u64;
         loop {
             // Lock elision prologue: wait out any fallback holder.
             self.fallback.wait_until_free();
@@ -127,6 +130,7 @@ impl HtmDomain {
                 Ok(r) => match txn.commit() {
                     Ok(()) => {
                         self.stats.commits.fetch_add(1, Relaxed);
+                        self.stats.retries.record(retries);
                         return r;
                     }
                     Err(a) => a,
@@ -134,6 +138,7 @@ impl HtmDomain {
                 Err(a) => a,
             };
 
+            retries += 1;
             let take_fallback = match abort.code {
                 AbortCode::Conflict => {
                     self.stats.aborts_conflict.fetch_add(1, Relaxed);
@@ -163,6 +168,7 @@ impl HtmDomain {
                 match result {
                     Ok(r) => {
                         // Irrevocable "commit" is trivially successful.
+                        self.stats.retries.record(retries);
                         return r;
                     }
                     Err(a) => {

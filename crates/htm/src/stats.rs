@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use obs::{AtomicHistogram, Histogram, Json, ToJson};
+
 /// Live counters attached to an [`crate::HtmDomain`].
 #[derive(Debug, Default)]
 pub struct HtmStats {
@@ -24,6 +26,11 @@ pub struct HtmStats {
     pub aborts_flush: AtomicU64,
     /// Times the fallback lock was taken.
     pub fallbacks: AtomicU64,
+    /// Aborts suffered before each successful section (0 = clean first
+    /// try; fallback completions count the aborts that drove them there).
+    /// Kept out of [`HtmStatsSnapshot`] so that stays `Copy`; read it via
+    /// [`HtmStats::retries_to_commit`].
+    pub retries: AtomicHistogram,
 }
 
 impl HtmStats {
@@ -40,6 +47,12 @@ impl HtmStats {
         }
     }
 
+    /// Snapshot of the retries-to-commit distribution (aborts suffered
+    /// before each successful section).
+    pub fn retries_to_commit(&self) -> Histogram {
+        self.retries.snapshot()
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.attempts.store(0, Ordering::Relaxed);
@@ -49,6 +62,7 @@ impl HtmStats {
         self.aborts_explicit.store(0, Ordering::Relaxed);
         self.aborts_flush.store(0, Ordering::Relaxed);
         self.fallbacks.store(0, Ordering::Relaxed);
+        self.retries.reset();
     }
 }
 
@@ -97,6 +111,33 @@ impl HtmStatsSnapshot {
             aborts_flush: self.aborts_flush.saturating_sub(earlier.aborts_flush),
             fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
         }
+    }
+}
+
+impl HtmStatsSnapshot {
+    /// The abort taxonomy as `(name, value)` pairs, in export order —
+    /// the payload of an `obs::Section::Counters`.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("attempts".into(), self.attempts),
+            ("commits".into(), self.commits),
+            ("aborts_conflict".into(), self.aborts_conflict),
+            ("aborts_capacity".into(), self.aborts_capacity),
+            ("aborts_explicit".into(), self.aborts_explicit),
+            ("aborts_flush".into(), self.aborts_flush),
+            ("fallbacks".into(), self.fallbacks),
+        ]
+    }
+}
+
+impl ToJson for HtmStatsSnapshot {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        for (name, v) in self.counters() {
+            o.set(&name, Json::U64(v));
+        }
+        o.set("abort_ratio", Json::F64(self.abort_ratio()));
+        o
     }
 }
 

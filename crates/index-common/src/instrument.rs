@@ -1,0 +1,216 @@
+//! Op-latency instrumentation at the [`PersistentIndex`] layer.
+//!
+//! [`Instrumented`] wraps *any* index — RNTree, a baseline, a
+//! `ShardedIndex`, an `Arc<dyn PersistentIndex>` — and records each
+//! operation's wall-clock latency into a shared `obs::OpHistograms`
+//! through the zero-cost-when-disabled `obs::Recorder` handle. Every
+//! tree gets per-op p50/p90/p99/p999 for free; no tree contains any
+//! timing code of its own.
+
+use std::sync::Arc;
+
+use obs::{ObsSource, OpHistograms, OpType, Recorder, Section};
+
+use crate::{Key, OpError, PersistentIndex, TreeStats, Value};
+
+/// A [`PersistentIndex`] wrapper that records per-op latency.
+///
+/// With a disabled recorder (the default construction) every operation
+/// pays one branch on a `None`; with an enabled recorder, sampled
+/// operations (default 1-in-8 per thread) pay two `Instant::now()`
+/// calls and two relaxed `fetch_add`s.
+pub struct Instrumented<T> {
+    inner: T,
+    rec: Recorder,
+}
+
+impl<T: PersistentIndex> Instrumented<T> {
+    /// Wraps `inner` with an explicit recorder.
+    pub fn new(inner: T, rec: Recorder) -> Instrumented<T> {
+        Instrumented { inner, rec }
+    }
+
+    /// Wraps `inner` with a fresh histogram set and returns both; the
+    /// caller keeps the histograms for snapshotting/registration.
+    pub fn with_histograms(inner: T) -> (Instrumented<T>, Arc<OpHistograms>) {
+        let hists = Arc::new(OpHistograms::new());
+        (Instrumented { inner, rec: Recorder::new(Arc::clone(&hists)) }, hists)
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The recorder handle.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    #[inline]
+    fn timed<R>(&self, op: OpType, f: impl FnOnce(&T) -> R) -> R {
+        match self.rec.start() {
+            Some(t0) => {
+                let r = f(&self.inner);
+                self.rec.finish(op, t0);
+                r
+            }
+            None => f(&self.inner),
+        }
+    }
+}
+
+impl<T: PersistentIndex> PersistentIndex for Instrumented<T> {
+    fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.timed(OpType::Insert, |t| t.insert(key, value))
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.timed(OpType::Update, |t| t.update(key, value))
+    }
+
+    fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        self.timed(OpType::Upsert, |t| t.upsert(key, value))
+    }
+
+    fn remove(&self, key: Key) -> Result<(), OpError> {
+        self.timed(OpType::Remove, |t| t.remove(key))
+    }
+
+    fn find(&self, key: Key) -> Option<Value> {
+        self.timed(OpType::Search, |t| t.find(key))
+    }
+
+    fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        self.timed(OpType::Scan, |t| t.scan_n(start, n, out))
+    }
+
+    fn load_sorted(&self, pairs: &[(Key, Value)]) -> Result<(), OpError> {
+        self.timed(OpType::LoadSorted, |t| t.load_sorted(pairs))
+    }
+
+    fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        self.timed(OpType::InsertBatch, |t| t.insert_batch(batch))
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn supports_concurrency(&self) -> bool {
+        self.inner.supports_concurrency()
+    }
+
+    fn stats(&self) -> TreeStats {
+        self.inner.stats()
+    }
+
+    fn htm_abort_ratio(&self) -> Option<f64> {
+        self.inner.htm_abort_ratio()
+    }
+}
+
+impl<T: PersistentIndex> ObsSource for Instrumented<T> {
+    /// An `ops` section (per-op latency distributions, when the recorder
+    /// is enabled) plus a `tree` counter section from the wrapped index.
+    fn obs_sections(&self) -> Vec<(String, Section)> {
+        let mut out = Vec::new();
+        if let Some(hists) = self.rec.histograms() {
+            let lat = OpType::ALL
+                .iter()
+                .map(|&op| (op.name().to_string(), hists.snapshot(op)))
+                .collect();
+            out.push(("ops".to_string(), Section::Latencies(lat)));
+        }
+        out.push(("tree".to_string(), Section::Counters(self.inner.stats().counters())));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    struct MapIndex(Mutex<BTreeMap<Key, Value>>);
+
+    impl PersistentIndex for MapIndex {
+        fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+            let mut m = self.0.lock().unwrap();
+            if m.contains_key(&key) {
+                return Err(OpError::AlreadyExists);
+            }
+            m.insert(key, value);
+            Ok(())
+        }
+        fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+            let mut m = self.0.lock().unwrap();
+            if !m.contains_key(&key) {
+                return Err(OpError::NotFound);
+            }
+            m.insert(key, value);
+            Ok(())
+        }
+        fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+            self.0.lock().unwrap().insert(key, value);
+            Ok(())
+        }
+        fn remove(&self, key: Key) -> Result<(), OpError> {
+            self.0.lock().unwrap().remove(&key).map(|_| ()).ok_or(OpError::NotFound)
+        }
+        fn find(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+            out.clear();
+            out.extend(self.0.lock().unwrap().range(start..).take(n).map(|(&k, &v)| (k, v)));
+            out.len()
+        }
+        fn name(&self) -> &'static str {
+            "Map"
+        }
+        fn stats(&self) -> TreeStats {
+            TreeStats { entries: self.0.lock().unwrap().len() as u64, ..TreeStats::default() }
+        }
+    }
+
+    #[test]
+    fn records_per_op_latencies() {
+        let (idx, hists) = Instrumented::with_histograms(MapIndex(Mutex::new(BTreeMap::new())));
+        hists.set_sample_shift(0); // record every op
+        for k in 0..50 {
+            idx.insert(k, k).unwrap();
+        }
+        for k in 0..50 {
+            assert_eq!(idx.find(k), Some(k));
+        }
+        idx.remove(7).unwrap();
+        assert_eq!(hists.snapshot(OpType::Insert).count(), 50);
+        assert_eq!(hists.snapshot(OpType::Search).count(), 50);
+        assert_eq!(hists.snapshot(OpType::Remove).count(), 1);
+        assert_eq!(hists.snapshot(OpType::Update).count(), 0);
+        assert_eq!(idx.stats().entries, 49);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_forwards() {
+        let idx = Instrumented::new(MapIndex(Mutex::new(BTreeMap::new())), Recorder::disabled());
+        idx.insert(1, 2).unwrap();
+        assert_eq!(idx.find(1), Some(2));
+        assert_eq!(idx.name(), "Map");
+        // Only the tree section appears when latency recording is off.
+        let sections = idx.obs_sections();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].0, "tree");
+    }
+
+    #[test]
+    fn wraps_shared_handles_via_the_arc_impl() {
+        let shared: Arc<dyn PersistentIndex> = Arc::new(MapIndex(Mutex::new(BTreeMap::new())));
+        let (idx, hists) = Instrumented::with_histograms(shared);
+        hists.set_sample_shift(0);
+        idx.upsert(9, 9).unwrap();
+        assert_eq!(hists.snapshot(OpType::Upsert).count(), 1);
+    }
+}

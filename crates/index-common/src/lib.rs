@@ -22,10 +22,12 @@
 #![deny(missing_docs)]
 
 mod inner;
+mod instrument;
 mod sharded;
 mod traits;
 
 pub use inner::{InnerIndex, INNER_FANOUT};
+pub use instrument::Instrumented;
 pub use sharded::{shard_of, ShardedIndex};
 pub use traits::{OpError, PersistentIndex, RecoverableIndex, TreeStats};
 

@@ -334,11 +334,7 @@ impl<T: PersistentIndex> PersistentIndex for ShardedIndex<T> {
     fn stats(&self) -> TreeStats {
         let mut total = TreeStats::default();
         for s in &self.shards {
-            let st = s.stats();
-            total.leaves += st.leaves;
-            total.entries += st.entries;
-            total.splits += st.splits;
-            total.pool_exhausted |= st.pool_exhausted;
+            total.merge(&s.stats());
         }
         total
     }
@@ -353,6 +349,22 @@ impl<T: PersistentIndex> PersistentIndex for ShardedIndex<T> {
         } else {
             Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
         }
+    }
+}
+
+/// Per-shard observability: every shard's sections re-labelled
+/// `shardN.<section>`, so one registry entry for the composite index
+/// exports the full per-shard breakdown (pmem counters, HTM taxonomy,
+/// phase timers — whatever the shard type provides).
+impl<T: PersistentIndex + obs::ObsSource> obs::ObsSource for ShardedIndex<T> {
+    fn obs_sections(&self) -> Vec<(String, obs::Section)> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (name, section) in shard.obs_sections() {
+                out.push((format!("shard{i}.{name}"), section));
+            }
+        }
+        out
     }
 }
 

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use nvm::PmemPool;
+use obs::{Json, ToJson};
 
 use crate::{Key, Value};
 
@@ -46,6 +47,40 @@ pub struct TreeStats {
     /// index ORs this across shards, so one full shard is visible at the
     /// top level even while its siblings still have room.
     pub pool_exhausted: bool,
+}
+
+impl TreeStats {
+    /// Folds another tree's statistics into this one: structural counters
+    /// add, the sticky [`TreeStats::pool_exhausted`] flag ORs. The single
+    /// aggregation rule for every composite index (sharding, wrappers).
+    pub fn merge(&mut self, other: &TreeStats) {
+        self.leaves += other.leaves;
+        self.entries += other.entries;
+        self.splits += other.splits;
+        self.pool_exhausted |= other.pool_exhausted;
+    }
+
+    /// The statistics as `(name, value)` pairs, in export order — the
+    /// payload of an `obs::Section::Counters` (the flag exports as 0/1).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("leaves".into(), self.leaves),
+            ("entries".into(), self.entries),
+            ("splits".into(), self.splits),
+            ("pool_exhausted".into(), self.pool_exhausted as u64),
+        ]
+    }
+}
+
+impl ToJson for TreeStats {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("leaves", Json::U64(self.leaves));
+        o.set("entries", Json::U64(self.entries));
+        o.set("splits", Json::U64(self.splits));
+        o.set("pool_exhausted", Json::Bool(self.pool_exhausted));
+        o
+    }
 }
 
 /// A durable ordered key-value index over simulated NVM.
@@ -134,6 +169,49 @@ pub trait PersistentIndex: Send + Sync {
     /// when the tree uses one. `None` for non-HTM trees.
     fn htm_abort_ratio(&self) -> Option<f64> {
         None
+    }
+}
+
+/// Forwarding impl so shared handles (`Arc<dyn PersistentIndex>`, the
+/// currency of the bench harness and workload drivers) satisfy the trait
+/// themselves — wrappers like `Instrumented` can then take *any* index,
+/// owned or shared, by value.
+impl<P: PersistentIndex + ?Sized> PersistentIndex for Arc<P> {
+    fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        (**self).insert(key, value)
+    }
+    fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+        (**self).update(key, value)
+    }
+    fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        (**self).upsert(key, value)
+    }
+    fn remove(&self, key: Key) -> Result<(), OpError> {
+        (**self).remove(key)
+    }
+    fn find(&self, key: Key) -> Option<Value> {
+        (**self).find(key)
+    }
+    fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        (**self).scan_n(start, n, out)
+    }
+    fn load_sorted(&self, pairs: &[(Key, Value)]) -> Result<(), OpError> {
+        (**self).load_sorted(pairs)
+    }
+    fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        (**self).insert_batch(batch)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn supports_concurrency(&self) -> bool {
+        (**self).supports_concurrency()
+    }
+    fn stats(&self) -> TreeStats {
+        (**self).stats()
+    }
+    fn htm_abort_ratio(&self) -> Option<f64> {
+        (**self).htm_abort_ratio()
     }
 }
 

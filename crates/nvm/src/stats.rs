@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use obs::{Json, ToJson};
+
 /// Live (atomic) persistence counters attached to a [`crate::PmemPool`].
 #[derive(Debug, Default)]
 pub struct PmemStats {
@@ -61,6 +63,18 @@ pub struct PmemStatsSnapshot {
 }
 
 impl PmemStatsSnapshot {
+    /// The counters as `(name, value)` pairs, in export order — the
+    /// payload of an `obs::Section::Counters`.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("persists".into(), self.persists),
+            ("lines_flushed".into(), self.lines_flushed),
+            ("fences".into(), self.fences),
+            ("lines_evicted".into(), self.lines_evicted),
+            ("crashes".into(), self.crashes),
+        ]
+    }
+
     /// Counter deltas `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &PmemStatsSnapshot) -> PmemStatsSnapshot {
         PmemStatsSnapshot {
@@ -70,6 +84,16 @@ impl PmemStatsSnapshot {
             lines_evicted: self.lines_evicted.saturating_sub(earlier.lines_evicted),
             crashes: self.crashes.saturating_sub(earlier.crashes),
         }
+    }
+}
+
+impl ToJson for PmemStatsSnapshot {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        for (name, v) in self.counters() {
+            o.set(&name, Json::U64(v));
+        }
+        o
     }
 }
 

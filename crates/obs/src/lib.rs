@@ -1,0 +1,47 @@
+//! # obs — the unified observability layer
+//!
+//! One dependency-free crate every layer of the workspace can lean on
+//! for metrics, so explaining performance (the heart of the paper's
+//! evaluation) needs no bespoke plumbing per component:
+//!
+//! - [`hist`] — log-bucketed latency histograms: a plain per-thread
+//!   [`Histogram`] and a lock-free striped [`AtomicHistogram`]
+//!   (p50/p90/p99/p999, no allocation on the record path).
+//! - [`ops`] — per-operation recording at the `PersistentIndex` layer
+//!   via the zero-cost-when-disabled [`Recorder`] handle, and the
+//!   in-tree [`PhaseTimers`] matching the paper's latency-breakdown
+//!   figure (descent / leaf critical section / log flush / slot
+//!   persist).
+//! - [`events`] — a fixed-capacity per-thread [`EventRing`] for crash
+//!   forensics (splits, journal rollbacks, crash injections, recovery
+//!   steps, pool exhaustion).
+//! - [`registry`] — the [`ObsSource`] trait plus [`ObsRegistry`],
+//!   whose [`ObsRegistry::snapshot`] renders to JSON and Prometheus
+//!   text exposition.
+//! - [`json`] — the in-repo stand-in for `serde`: a [`Json`] value
+//!   tree, the [`ToJson`] trait, a renderer, and a strict parser used
+//!   by CI to validate emitted reports (the workspace builds offline,
+//!   so external serialisation crates are unavailable).
+//!
+//! ## Cost model
+//!
+//! Disabled (the default everywhere) the record paths cost one relaxed
+//! load or a branch on a `None`. Enabled, timestamps are sampled
+//! (default 1 op in 8) and each sample is two relaxed `fetch_add`s on a
+//! per-thread stripe. Building the workspace with this crate's
+//! `record` feature off (`--no-default-features`) compiles every record
+//! path to nothing.
+
+#![deny(missing_docs)]
+
+pub mod events;
+pub mod hist;
+pub mod json;
+pub mod ops;
+pub mod registry;
+
+pub use events::{Event, EventKind, EventRing};
+pub use hist::{AtomicHistogram, Histogram, Quantiles};
+pub use json::{parse, Json, ToJson};
+pub use ops::{OpHistograms, OpType, Phase, PhaseClock, PhaseTimers, Recorder, N_OPS, N_PHASES};
+pub use registry::{ObsGroup, ObsRegistry, ObsSnapshot, ObsSource, Section};

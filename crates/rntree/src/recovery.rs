@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use index_common::{leaf_ref, InnerIndex, Key};
 use nvm::{PmemPool, RootTable};
+use obs::{EventKind, PhaseTimers};
 
 use crate::fingerprint::FpTable;
 use crate::layout::LEAF_CAPACITY;
@@ -60,6 +61,7 @@ impl RnTree {
             retries: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
+            timers: PhaseTimers::new(),
         }
     }
 
@@ -77,7 +79,14 @@ impl RnTree {
     pub fn recover(pool: Arc<PmemPool>, cfg: RnConfig) -> RnTree {
         Self::check_magic(&pool, &cfg);
         let (alloc, journal) = Self::make_parts(&pool, &cfg);
-        journal.recover(&pool);
+        // Every recovery step lands in the pool's event ring, so a
+        // post-crash `simulate_crash` forensics dump shows the full
+        // timeline: trap → crash → rollbacks → chain scan → rebuilds.
+        let rolled_back = journal.recover(&pool);
+        for &leaf_off in &rolled_back {
+            pool.events().record(EventKind::JournalRollback, leaf_off, 0);
+        }
+        pool.events().record(EventKind::RecoveryJournal, rolled_back.len() as u64, 0);
 
         let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
         let leftmost = RootTable::get(&pool, roots::LEFTMOST);
@@ -107,7 +116,10 @@ impl RnTree {
             }
             off = leaf.next();
         }
+        let entries: u64 = pairs.len() as u64;
+        pool.events().record(EventKind::RecoveryLeafChain, reachable.len() as u64, entries);
         alloc.rebuild(&reachable);
+        pool.events().record(EventKind::RecoveryAlloc, reachable.len() as u64, 0);
         RootTable::set(&pool, roots::CLEAN, 0);
 
         let index = InnerIndex::new(leaf_ref(leftmost));
@@ -115,6 +127,7 @@ impl RnTree {
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
+        pool.events().record(EventKind::RecoveryIndex, entries, 0);
         RnTree {
             pool,
             alloc,
@@ -128,6 +141,7 @@ impl RnTree {
             retries: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
+            timers: PhaseTimers::new(),
         }
     }
 
@@ -185,6 +199,7 @@ impl RnTree {
             retries: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
+            timers: PhaseTimers::new(),
         }
     }
 

@@ -31,6 +31,7 @@ use std::sync::Arc;
 use htm::HtmStatsSnapshot;
 use index_common::{leaf_ref, InnerIndex, Key, OpError, PersistentIndex, TreeStats, Value};
 use nvm::{BlockAllocator, PmemPool, RootTable};
+use obs::{EventKind, ObsSource, Phase, PhaseTimers, Section};
 
 use crate::fingerprint::{fp_hash, FpTable};
 use crate::journal::SplitJournal;
@@ -140,6 +141,9 @@ pub struct RnTree {
     pub(crate) retries: AtomicU64,
     pub(crate) wasted: AtomicU64,
     pub(crate) pool_exhausted: AtomicBool,
+    /// Phase-breakdown timers (obs). Off by default; the modify path pays
+    /// one relaxed load per op until [`RnTree::phase_timers`] enables them.
+    pub(crate) timers: PhaseTimers,
 }
 
 /// Decision taken for an allocated log entry under the leaf lock.
@@ -194,6 +198,13 @@ impl RnTree {
         self.pool_exhausted.load(Ordering::Relaxed)
     }
 
+    /// The phase-breakdown timers (descent / leaf critical section /
+    /// log flush / slot persist). Disabled by default; call
+    /// `phase_timers().set_enabled(true)` to start sampling.
+    pub fn phase_timers(&self) -> &PhaseTimers {
+        &self.timers
+    }
+
     fn traverse(&self, key: Key) -> u64 {
         if self.cfg.seq_traversal {
             self.index.traverse_seq(key)
@@ -223,7 +234,11 @@ impl RnTree {
         // hopeless retry loop (full leaf + exhausted pool) into an error.
         let mut starved = 0u32;
         loop {
+            // Phase breakdown (obs): one relaxed load when disabled; on a
+            // sampled op, one timestamp per phase boundary.
+            let mut clock = self.timers.clock();
             let leaf = Leaf::at(&self.pool, self.traverse(key));
+            clock.lap(&self.timers, Phase::Descent);
 
             let Some(entry) = leaf.alloc_entry() else {
                 // Log area exhausted: help the split along (Algorithm 1
@@ -262,10 +277,15 @@ impl RnTree {
             let kv_flush = if self.cfg.async_flush {
                 Some(leaf.flush_kv_async(entry))
             } else {
+                clock.mark();
                 leaf.persist_kv(entry);
+                clock.lap(&self.timers, Phase::LogFlush);
                 None
             };
 
+            // The critical-section span wraps lock→unlock inclusive of the
+            // nested drain/slot-persist spans; the report subtracts them.
+            let mut cs = clock.fork();
             leaf.lock();
 
             // Coverage check: a split between traversal and lock may have
@@ -316,14 +336,18 @@ impl RnTree {
             // the reject paths this is where the wasted entry's flush is
             // accounted, exactly like the seed's synchronous persist.
             if let Some(h) = kv_flush {
+                clock.mark();
                 leaf.drain_kv(h);
+                clock.lap(&self.timers, Phase::LogFlush);
             }
 
             let applied = if let Decision::Applied(slot) = &decision {
                 // Persistent instruction #2: the slot line. Atomic thanks
                 // to the line-granular flush; both its old and new states
                 // are consistent (§4.1).
+                clock.mark();
                 leaf.persist_pslot();
+                clock.lap(&self.timers, Phase::SlotPersist);
                 if self.cfg.dual_slot {
                     // htmLeafCopySlot: publish to readers only now, after
                     // the flush — readers can never return un-persisted
@@ -347,6 +371,7 @@ impl RnTree {
             // Single-slot variant: version bump per modification (§5.2.2);
             // the split already bumped if it ran.
             leaf.unlock(!self.cfg.dual_slot && applied && !did_split);
+            cs.lap(&self.timers, Phase::LeafCs);
 
             match decision {
                 Decision::Applied(_) => return Ok(()),
@@ -514,6 +539,7 @@ impl RnTree {
             leaf.set_plogs(live as u64);
             self.journal.clear(&self.pool, jslot);
             self.compactions.fetch_add(1, Ordering::Relaxed);
+            self.pool.events().record(EventKind::Compaction, leaf.off(), live as u64);
             leaf.unset_split_bump();
             return;
         }
@@ -522,6 +548,7 @@ impl RnTree {
             // Cannot grow: leave the leaf untouched (it still works, just
             // re-triggers). Surfaced via `saw_pool_exhaustion`.
             self.pool_exhausted.store(true, Ordering::Relaxed);
+            self.pool.events().record(EventKind::PoolExhausted, leaf.off(), self.pool.len());
             self.journal.clear(&self.pool, jslot);
             leaf.unset_split_bump();
             return;
@@ -569,6 +596,7 @@ impl RnTree {
         // closes the lost-key window between Algorithm 3's lines 15/16).
         self.index.tree_update(sep, leaf_ref(right_off));
         self.splits.fetch_add(1, Ordering::Relaxed);
+        self.pool.events().record(EventKind::Split, leaf.off(), right_off);
         leaf.unset_split_bump();
     }
 
@@ -794,6 +822,7 @@ impl RnTree {
                         self.alloc.free(b);
                     }
                     self.pool_exhausted.store(true, Ordering::Relaxed);
+                    self.pool.events().record(EventKind::PoolExhausted, self.leftmost, self.pool.len());
                     return Err(OpError::PoolExhausted);
                 }
             }
@@ -1174,6 +1203,44 @@ impl std::fmt::Debug for RnTree {
             .field("variant", &self.name())
             .field("stats", &self.rn_stats())
             .finish()
+    }
+}
+
+impl ObsSource for RnTree {
+    /// Sections: `tree` (structure + op counters), `pmem`
+    /// (persistence-instruction counters), `htm` (abort taxonomy),
+    /// `htm_retries` (the retries-to-commit distribution), `phases` (the
+    /// modify-path breakdown, present only while the timers are enabled),
+    /// and `events` (the pool's crash-forensics ring).
+    fn obs_sections(&self) -> Vec<(String, Section)> {
+        let mut tree = self.stats().counters();
+        let rn = self.rn_stats();
+        tree.push(("compactions".into(), rn.compactions));
+        tree.push(("retries".into(), rn.retries));
+        tree.push(("wasted_entries".into(), rn.wasted_entries));
+
+        let htm = self.htm_stats();
+        let mut out = vec![
+            ("tree".to_string(), Section::Counters(tree)),
+            ("pmem".to_string(), Section::Counters(self.pool.stats().snapshot().counters())),
+            ("htm".to_string(), Section::Counters(htm.counters())),
+            (
+                "htm_retries".to_string(),
+                Section::Latencies(vec![(
+                    "retries_to_commit".to_string(),
+                    self.index.domain().stats().retries_to_commit(),
+                )]),
+            ),
+        ];
+        if self.timers.is_enabled() {
+            let phases = Phase::ALL
+                .iter()
+                .map(|&p| (p.name().to_string(), self.timers.snapshot(p)))
+                .collect();
+            out.push(("phases".to_string(), Section::Latencies(phases)));
+        }
+        out.push(("events".to_string(), Section::Events(self.pool.events().dump())));
+        out
     }
 }
 

@@ -1,221 +1,11 @@
-//! Log-bucket latency histogram.
+//! Log-bucket latency histogram — re-exported from the `obs` crate.
 //!
-//! 64 power-of-two major buckets × 16 linear minor buckets give roughly
-//! 6% relative precision over the full `u64` nanosecond range with a
-//! fixed 8 KiB footprint — enough for Figure 9's microsecond-scale
-//! latency curves, with O(1) recording and cheap merging across worker
-//! threads.
+//! The histogram originated here for Figure 9's latency curves and was
+//! promoted to `obs` (which adds a lock-free striped variant and
+//! quantile export) when the unified observability layer landed. This
+//! module keeps the historical `ycsb::Histogram` path stable; the
+//! bucket scheme (64 power-of-two majors × 16 linear minors, ~6%
+//! relative precision, fixed 8 KiB footprint) and its tests now live in
+//! `obs::hist`.
 
-const MINORS: usize = 16;
-const BUCKETS: usize = 64 * MINORS;
-
-/// A mergeable latency histogram over `u64` samples (nanoseconds).
-#[derive(Clone)]
-pub struct Histogram {
-    counts: Box<[u64; BUCKETS]>,
-    total: u64,
-    sum: u128,
-    max: u64,
-    min: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            counts: Box::new([0; BUCKETS]),
-            total: 0,
-            sum: 0,
-            max: 0,
-            min: u64::MAX,
-        }
-    }
-
-    #[inline]
-    fn bucket(v: u64) -> usize {
-        if v < MINORS as u64 {
-            return v as usize;
-        }
-        let major = 63 - v.leading_zeros() as usize;
-        let minor = ((v >> (major - 4)) & (MINORS as u64 - 1)) as usize;
-        // major ≥ 4 here because v ≥ 16.
-        ((major - 3) * MINORS + minor).min(BUCKETS - 1)
-    }
-
-    /// Representative (lower-bound) value of bucket `idx`.
-    fn bucket_floor(idx: usize) -> u64 {
-        if idx < MINORS {
-            return idx as u64;
-        }
-        // Indices above major 63 are unreachable (bucket() clamps there);
-        // saturate so the floor stays monotone.
-        let major = idx / MINORS + 3;
-        if major > 63 {
-            return u64::MAX;
-        }
-        let minor = (idx % MINORS) as u64;
-        (1u64 << major) | (minor << (major - 4))
-    }
-
-    /// Records one sample.
-    #[inline]
-    pub fn record(&mut self, v: u64) {
-        self.counts[Self::bucket(v)] += 1;
-        self.total += 1;
-        self.sum += v as u128;
-        self.max = self.max.max(v);
-        self.min = self.min.min(v);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-        self.min = self.min.min(other.min);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Arithmetic mean (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// Largest recorded sample.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Smallest recorded sample (0 when empty).
-    pub fn min(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Value at quantile `q ∈ [0, 1]` (bucket lower bound; 0 when empty).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::bucket_floor(idx);
-            }
-        }
-        self.max
-    }
-}
-
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Histogram {{ n: {}, mean: {:.0}, p50: {}, p99: {}, max: {} }}",
-            self.total,
-            self.mean(),
-            self.quantile(0.5),
-            self.quantile(0.99),
-            self.max
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram_is_quiet() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.quantile(0.5), 0);
-        assert_eq!(h.min(), 0);
-    }
-
-    #[test]
-    fn records_track_mean_min_max() {
-        let mut h = Histogram::new();
-        for v in [10u64, 20, 30] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 3);
-        assert_eq!(h.mean(), 20.0);
-        assert_eq!(h.min(), 10);
-        assert_eq!(h.max(), 30);
-    }
-
-    #[test]
-    fn quantiles_are_within_bucket_precision() {
-        let mut h = Histogram::new();
-        for v in 1..=10_000u64 {
-            h.record(v);
-        }
-        let p50 = h.quantile(0.5);
-        assert!((4500..=5500).contains(&p50), "p50={p50}");
-        let p99 = h.quantile(0.99);
-        assert!((9200..=10_000).contains(&p99), "p99={p99}");
-        let p100 = h.quantile(1.0);
-        assert!(p100 <= 10_000 && p100 > 9000);
-    }
-
-    #[test]
-    fn bucket_floor_is_monotone_and_below_members() {
-        let mut last = 0;
-        for idx in 0..BUCKETS {
-            let f = Histogram::bucket_floor(idx);
-            assert!(f >= last, "idx {idx}: {f} < {last}");
-            last = f;
-        }
-        for v in [0u64, 1, 15, 16, 17, 100, 1000, 123_456_789] {
-            let idx = Histogram::bucket(v);
-            assert!(Histogram::bucket_floor(idx) <= v, "v={v}");
-        }
-    }
-
-    #[test]
-    fn merge_combines_everything() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        for v in 1..=100u64 {
-            a.record(v);
-            b.record(v * 1000);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 200);
-        assert_eq!(a.max(), 100_000);
-        assert_eq!(a.min(), 1);
-    }
-
-    #[test]
-    fn big_values_do_not_overflow_buckets() {
-        let mut h = Histogram::new();
-        h.record(u64::MAX);
-        h.record(u64::MAX / 2);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile(1.0) > 0);
-    }
-}
+pub use obs::Histogram;

@@ -1,0 +1,167 @@
+//! End-to-end crash forensics through the event ring: run an RNTree
+//! workload with splits, fire a persist trap mid-operation, simulate a
+//! crash, recover — and verify the pool's event ring tells the whole
+//! story: structural events before the crash, the trap and crash
+//! injection, and every recovery step afterwards, in order.
+//!
+//! This is the workflow ISSUE 4 calls "crash forensics": after an
+//! injected failure, `repro obs-report` (and `simulate_crash` users
+//! generally) can dump a timeline instead of re-deriving what happened
+//! from counters.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use index_common::PersistentIndex;
+use obs::{EventKind, ObsSource, Phase, Section};
+use rntree::{RnConfig, RnTree};
+
+fn pool() -> Arc<nvm::PmemPool> {
+    Arc::new(nvm::PmemPool::new(nvm::PmemConfig::for_testing(1 << 25)))
+}
+
+#[test]
+fn event_ring_captures_crash_and_recovery_timeline() {
+    // The trap panics on the N-th persist; silence the expected spew.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(run_timeline);
+    std::panic::set_hook(default_hook);
+    if let Err(e) = result {
+        let msg = e
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| e.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>");
+        panic!("{msg}");
+    }
+}
+
+fn run_timeline() {
+    let pool = pool();
+    let cfg = RnConfig::default();
+    let tree = RnTree::create(Arc::clone(&pool), cfg);
+
+    // Enough inserts to split repeatedly: structural events land in the
+    // ring as they happen.
+    for k in 0..2_000u64 {
+        tree.insert(k * 7 + 1, k).unwrap();
+    }
+    let pre_crash = pool.events().dump();
+    assert!(
+        pre_crash.iter().any(|e| e.kind == EventKind::Split),
+        "2000 inserts must have recorded split events"
+    );
+
+    // Fire a persist trap inside a later insert, then crash.
+    pool.arm_persist_trap(7);
+    let mut trapped = false;
+    for k in 2_000..2_100u64 {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| tree.insert(k * 7 + 1, k)));
+        if r.is_err() {
+            trapped = true;
+            break;
+        }
+    }
+    assert!(trapped, "persist trap never fired");
+    pool.disarm_persist_trap();
+    drop(tree);
+    pool.simulate_crash();
+
+    let tree = RnTree::recover(Arc::clone(&pool), cfg);
+    tree.verify_invariants().expect("recovered tree invariants");
+
+    // The ring survives tree teardown (it lives in the pool) and now
+    // holds the full timeline: oldest-first, strictly ordered.
+    let events = pool.events().dump();
+    assert!(!events.is_empty());
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "dump must be strictly seq-ordered");
+    }
+
+    let has = |k: EventKind| events.iter().any(|e| e.kind == k);
+    assert!(has(EventKind::TrapFired), "trap firing must be on the timeline");
+    assert!(has(EventKind::CrashInjection), "simulate_crash must be on the timeline");
+    assert!(has(EventKind::RecoveryJournal), "journal scan step missing");
+    assert!(has(EventKind::RecoveryLeafChain), "leaf-chain walk step missing");
+    assert!(has(EventKind::RecoveryAlloc), "allocator rebuild step missing");
+    assert!(has(EventKind::RecoveryIndex), "index rebuild step missing");
+
+    // Recovery steps come after the crash injection.
+    let crash_seq =
+        events.iter().find(|e| e.kind == EventKind::CrashInjection).map(|e| e.seq).unwrap();
+    for e in &events {
+        if matches!(
+            e.kind,
+            EventKind::RecoveryJournal
+                | EventKind::RecoveryLeafChain
+                | EventKind::RecoveryAlloc
+                | EventKind::RecoveryIndex
+        ) {
+            assert!(e.seq > crash_seq, "recovery step {e:?} precedes the crash");
+        }
+    }
+
+    // The leaf-chain step reports how much structure survived: `a` is
+    // chain-reachable leaves, `b` the (max key, leaf) index pairs — at
+    // most one per leaf, and 2000 inserts span many leaves.
+    let chain =
+        events.iter().find(|e| e.kind == EventKind::RecoveryLeafChain).expect("checked above");
+    assert!(chain.a >= 10, "suspiciously few reachable leaves: {}", chain.a);
+    assert!(chain.b >= 10 && chain.b <= chain.a, "index pairs {} vs leaves {}", chain.b, chain.a);
+
+    // The same timeline is exported through the ObsSource snapshot.
+    let sections = tree.obs_sections();
+    let names: Vec<&str> = sections.iter().map(|(n, _)| n.as_str()).collect();
+    for expect in ["tree", "pmem", "htm", "htm_retries", "events"] {
+        assert!(names.contains(&expect), "section {expect} missing from {names:?}");
+    }
+    assert!(!names.contains(&"phases"), "phase section must be absent while timers are off");
+    let ring_len = events.len();
+    let exported = sections
+        .iter()
+        .find_map(|(n, s)| match (n.as_str(), s) {
+            ("events", Section::Events(evs)) => Some(evs.len()),
+            _ => None,
+        })
+        .expect("events section present");
+    assert_eq!(exported, ring_len, "ObsSource must export the full ring");
+}
+
+#[test]
+fn phase_timers_appear_only_when_enabled_and_cover_the_modify_path() {
+    let pool = pool();
+    let tree = RnTree::create(Arc::clone(&pool), RnConfig::default());
+
+    tree.phase_timers().set_enabled(true);
+    tree.phase_timers().set_sample_shift(0); // sample every op
+    for k in 0..500u64 {
+        tree.insert(k + 1, k).unwrap();
+    }
+
+    // SlotPersist fires exactly once per applied modify; Descent and
+    // LeafCs also fire on retry iterations (splits), so they are lower-
+    // bounded by the op count and ordered Descent ≥ LeafCs (an iteration
+    // can bail before locking but never locks without descending).
+    let descent = tree.phase_timers().snapshot(Phase::Descent);
+    let cs = tree.phase_timers().snapshot(Phase::LeafCs);
+    let slot = tree.phase_timers().snapshot(Phase::SlotPersist);
+    assert_eq!(slot.count(), 500, "one slot persist per applied op at shift 0");
+    assert!(descent.count() >= 500, "descent {} below op count", descent.count());
+    assert!(cs.count() >= 500, "leaf CS {} below op count", cs.count());
+    assert!(cs.count() <= descent.count());
+
+    let names: Vec<String> = tree.obs_sections().into_iter().map(|(n, _)| n).collect();
+    assert!(names.iter().any(|n| n == "phases"), "phases section missing while enabled");
+
+    tree.phase_timers().set_enabled(false);
+    let before = tree.phase_timers().snapshot(Phase::Descent).count();
+    for k in 500..600u64 {
+        tree.insert(k + 1, k).unwrap();
+    }
+    assert_eq!(
+        tree.phase_timers().snapshot(Phase::Descent).count(),
+        before,
+        "disabled timers must record nothing"
+    );
+}
