@@ -15,7 +15,11 @@
 //! `obs-report` (unified observability snapshot: per-op latency
 //! quantiles, HTM abort taxonomy, phase breakdown, crash forensics, and
 //! the instrumentation-overhead measurement, written to `BENCH_PR4.json`
-//! plus a sibling `.prom` Prometheus file).
+//! plus a sibling `.prom` Prometheus file), and `contention-scale`
+//! (striped vs global HTM fallback under plain-Zipfian skew, YCSB-A/B at
+//! θ ∈ {0.7, 0.9, 0.99}; asserts the striped tier never loses a
+//! contended high-skew point; written to `BENCH_PR5.json` or `--out
+//! PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
 //! `--out PATH`, `--assert-overhead PCT` (obs-report only: fail the run
@@ -28,7 +32,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH] [--assert-overhead PCT]"
     );
@@ -46,6 +50,7 @@ fn main() {
         "shard-scale" => "BENCH_PR2.json",
         "batch-scale" => "BENCH_PR3.json",
         "obs-report" => "BENCH_PR4.json",
+        "contention-scale" => "BENCH_PR5.json",
         _ => "BENCH_PR1.json",
     });
     let mut assert_overhead: Option<f64> = None;
@@ -126,6 +131,7 @@ fn main() {
         "shard-scale" => bench::shardbench::shard_scale(&scale, &out_path),
         "batch-scale" => bench::batchbench::batch_scale(&scale, &out_path),
         "obs-report" => bench::obsbench::obs_report(&scale, &out_path, assert_overhead),
+        "contention-scale" => bench::contbench::contention_scale(&scale, &out_path),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

@@ -30,9 +30,15 @@
 //! * **Explicit aborts** (`XABORT`), used e.g. by FPTree's `find` when it
 //!   sees a locked leaf.
 //! * **The fallback lock.** Real RTM code retries a few times and then takes
-//!   a global mutex whose acquisition aborts all in-flight transactions.
-//!   [`HtmDomain::atomic`] implements exactly that loop; the fallback path
-//!   runs *irrevocably* with full mutual exclusion and conflict visibility.
+//!   a fallback mutex whose acquisition aborts the transactions it races.
+//!   [`HtmDomain::atomic`] implements that loop with a **two-tier,
+//!   fine-grained** fallback: conflict-driven fallbacks acquire only the
+//!   address stripes covering their observed footprint (so fallbacks on
+//!   unrelated data no longer serialise the whole domain), escalating to
+//!   the global lock only when the footprint is unknown (capacity/flush
+//!   aborts, or a striped run that strayed outside its prediction). The
+//!   retry policy is adaptive, fed by the abort taxonomy. See
+//!   [`fallback`](crate::FallbackLock) module docs for the safety proof.
 //!
 //! Transactionally-shared words are [`TmWord`]s (a `repr(transparent)`
 //! wrapper over `AtomicU64`), so they can live anywhere — including inside
@@ -78,7 +84,7 @@ mod txn;
 mod word;
 
 pub use domain::{HtmDomain, RetryPolicy};
-pub use fallback::FallbackLock;
+pub use fallback::{stripe_of, FallbackLock, StripeTable, STRIPES};
 pub use stats::{HtmStats, HtmStatsSnapshot};
 pub use txn::{Abort, AbortCode, Txn, TxnOptions};
 pub use word::TmWord;

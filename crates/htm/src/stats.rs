@@ -3,7 +3,12 @@
 //! The paper attributes FPTree's poor skewed-workload scalability to
 //! find-transactions aborting against leaf locks; these counters make the
 //! abort economics of every workload directly observable (`repro fig8`
-//! prints them alongside throughput).
+//! prints them alongside throughput). Since the two-tier fallback, the
+//! fallback-path counters split by tier: `fallbacks_striped` (fine-grained
+//! stripe-set acquisitions), `fallbacks_global` (whole-domain escalations),
+//! `stripe_escapes` (striped runs whose footprint prediction missed and
+//! escalated), and `stripe_conflicts` (contended stripe acquisitions —
+//! two fallbacks colliding on a stripe). `fallbacks` stays the total.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -24,13 +29,28 @@ pub struct HtmStats {
     pub aborts_explicit: AtomicU64,
     /// Aborts caused by flush-in-transaction.
     pub aborts_flush: AtomicU64,
-    /// Times the fallback lock was taken.
+    /// Times any fallback tier was taken (striped + global).
     pub fallbacks: AtomicU64,
+    /// Tier-1 fallbacks: runs under a fine-grained stripe set.
+    pub fallbacks_striped: AtomicU64,
+    /// Tier-2 fallbacks: runs under the global lock (+ all stripes).
+    pub fallbacks_global: AtomicU64,
+    /// Striped runs that touched a line outside their predicted stripes
+    /// and escalated to the global tier (nothing published).
+    pub stripe_escapes: AtomicU64,
+    /// Contended stripe acquisitions: a fallback found a stripe it needed
+    /// already held by another fallback.
+    pub stripe_conflicts: AtomicU64,
     /// Aborts suffered before each successful section (0 = clean first
     /// try; fallback completions count the aborts that drove them there).
     /// Kept out of [`HtmStatsSnapshot`] so that stays `Copy`; read it via
     /// [`HtmStats::retries_to_commit`].
     pub retries: AtomicHistogram,
+    /// Adaptive-policy state: the *effective* per-thread retry budget in
+    /// force at each conflict abort (the streak-shrunk `max_retries`).
+    /// A mass at low values means sustained contention has collapsed the
+    /// optimistic budget. Read via [`HtmStats::retry_budget`].
+    pub retry_budget: AtomicHistogram,
 }
 
 impl HtmStats {
@@ -44,6 +64,10 @@ impl HtmStats {
             aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
             aborts_flush: self.aborts_flush.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            fallbacks_striped: self.fallbacks_striped.load(Ordering::Relaxed),
+            fallbacks_global: self.fallbacks_global.load(Ordering::Relaxed),
+            stripe_escapes: self.stripe_escapes.load(Ordering::Relaxed),
+            stripe_conflicts: self.stripe_conflicts.load(Ordering::Relaxed),
         }
     }
 
@@ -51,6 +75,12 @@ impl HtmStats {
     /// before each successful section).
     pub fn retries_to_commit(&self) -> Histogram {
         self.retries.snapshot()
+    }
+
+    /// Snapshot of the effective-retry-budget distribution (adaptive
+    /// policy state observed at each conflict abort).
+    pub fn retry_budget(&self) -> Histogram {
+        self.retry_budget.snapshot()
     }
 
     /// Resets every counter to zero.
@@ -62,7 +92,12 @@ impl HtmStats {
         self.aborts_explicit.store(0, Ordering::Relaxed);
         self.aborts_flush.store(0, Ordering::Relaxed);
         self.fallbacks.store(0, Ordering::Relaxed);
+        self.fallbacks_striped.store(0, Ordering::Relaxed);
+        self.fallbacks_global.store(0, Ordering::Relaxed);
+        self.stripe_escapes.store(0, Ordering::Relaxed);
+        self.stripe_conflicts.store(0, Ordering::Relaxed);
         self.retries.reset();
+        self.retry_budget.reset();
     }
 }
 
@@ -81,8 +116,16 @@ pub struct HtmStatsSnapshot {
     pub aborts_explicit: u64,
     /// Flush-in-txn aborts.
     pub aborts_flush: u64,
-    /// Fallback acquisitions.
+    /// Fallback acquisitions (either tier).
     pub fallbacks: u64,
+    /// Tier-1 (striped) fallback runs.
+    pub fallbacks_striped: u64,
+    /// Tier-2 (global) fallback runs.
+    pub fallbacks_global: u64,
+    /// Striped runs escalated on a footprint miss.
+    pub stripe_escapes: u64,
+    /// Contended stripe acquisitions.
+    pub stripe_conflicts: u64,
 }
 
 impl HtmStatsSnapshot {
@@ -100,6 +143,18 @@ impl HtmStatsSnapshot {
         }
     }
 
+    /// Fallback rate: fallback acquisitions per committed section
+    /// (optimistic commits + fallback completions; 0.0 when idle). The
+    /// headline number of the contention-scale benchmark.
+    pub fn fallback_rate(&self) -> f64 {
+        let sections = self.commits + self.fallbacks;
+        if sections == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / sections as f64
+        }
+    }
+
     /// Counter deltas `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &HtmStatsSnapshot) -> HtmStatsSnapshot {
         HtmStatsSnapshot {
@@ -110,6 +165,10 @@ impl HtmStatsSnapshot {
             aborts_explicit: self.aborts_explicit.saturating_sub(earlier.aborts_explicit),
             aborts_flush: self.aborts_flush.saturating_sub(earlier.aborts_flush),
             fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+            fallbacks_striped: self.fallbacks_striped.saturating_sub(earlier.fallbacks_striped),
+            fallbacks_global: self.fallbacks_global.saturating_sub(earlier.fallbacks_global),
+            stripe_escapes: self.stripe_escapes.saturating_sub(earlier.stripe_escapes),
+            stripe_conflicts: self.stripe_conflicts.saturating_sub(earlier.stripe_conflicts),
         }
     }
 }
@@ -126,6 +185,10 @@ impl HtmStatsSnapshot {
             ("aborts_explicit".into(), self.aborts_explicit),
             ("aborts_flush".into(), self.aborts_flush),
             ("fallbacks".into(), self.fallbacks),
+            ("fallbacks_striped".into(), self.fallbacks_striped),
+            ("fallbacks_global".into(), self.fallbacks_global),
+            ("stripe_escapes".into(), self.stripe_escapes),
+            ("stripe_conflicts".into(), self.stripe_conflicts),
         ]
     }
 }
@@ -137,6 +200,7 @@ impl ToJson for HtmStatsSnapshot {
             o.set(&name, Json::U64(v));
         }
         o.set("abort_ratio", Json::F64(self.abort_ratio()));
+        o.set("fallback_rate", Json::F64(self.fallback_rate()));
         o
     }
 }
@@ -157,16 +221,47 @@ mod tests {
         assert_eq!(s.total_aborts(), 2);
         assert!((s.abort_ratio() - 0.2).abs() < 1e-12);
         assert_eq!(HtmStatsSnapshot::default().abort_ratio(), 0.0);
+        assert_eq!(HtmStatsSnapshot::default().fallback_rate(), 0.0);
+        let f = HtmStatsSnapshot {
+            commits: 9,
+            fallbacks: 1,
+            ..Default::default()
+        };
+        assert!((f.fallback_rate() - 0.1).abs() < 1e-12);
     }
 
     #[test]
     fn reset_and_since() {
         let live = HtmStats::default();
         live.commits.fetch_add(4, Ordering::Relaxed);
+        live.fallbacks_striped.fetch_add(2, Ordering::Relaxed);
+        live.stripe_conflicts.fetch_add(1, Ordering::Relaxed);
         let a = live.snapshot();
         live.commits.fetch_add(3, Ordering::Relaxed);
-        assert_eq!(live.snapshot().since(&a).commits, 3);
+        live.stripe_escapes.fetch_add(5, Ordering::Relaxed);
+        let d = live.snapshot().since(&a);
+        assert_eq!(d.commits, 3);
+        assert_eq!(d.fallbacks_striped, 0);
+        assert_eq!(d.stripe_escapes, 5);
         live.reset();
         assert_eq!(live.snapshot(), HtmStatsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_include_fallback_tiers() {
+        let names: Vec<String> = HtmStatsSnapshot::default()
+            .counters()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        for want in [
+            "fallbacks",
+            "fallbacks_striped",
+            "fallbacks_global",
+            "stripe_escapes",
+            "stripe_conflicts",
+        ] {
+            assert!(names.iter().any(|n| n == want), "missing {want}");
+        }
     }
 }

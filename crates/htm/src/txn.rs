@@ -21,12 +21,33 @@
 //! write set lets `read` prove read-own-write misses with one AND instead of
 //! a linear scan.
 //!
-//! Transactions can also run **irrevocably** (the fallback-lock path): reads
-//! wait out committing writers and writes are conflict-visible immediately;
-//! mutual exclusion is provided by the fallback lock in [`crate::HtmDomain`].
+//! Optimistic transactions additionally track their **stripe footprint**
+//! ([`crate::fallback::StripeTable`]) as a plain bitmask — one OR per new
+//! cache line, no loads — and subscribe to the fallback locks **at commit
+//! time**: after the write locks are held, commit checks that the global
+//! fallback word and every footprint stripe are free. Commit-time ("lazy")
+//! subscription is famously unsound on real RTM, where a zombie
+//! transaction can act on a torn read long before it reaches `XEND`; here
+//! every read is sandwich-validated against `rv`, so a transaction can
+//! never observe fallback writes torn — the only race left is committing
+//! *into* an in-flight fallback's read window, which is exactly what the
+//! commit-time check closes. See the proof in [`crate::fallback`].
+//!
+//! Fallback execution comes in two shapes:
+//!
+//! * **Striped** (tier 1): runs under a subset of stripe locks. Writes are
+//!   buffered like optimistic ones and every access re-checks that its
+//!   line's stripe is actually held; a miss marks the transaction *escaped*
+//!   and aborts it with nothing published, letting the domain escalate to
+//!   tier 2.
+//! * **Irrevocable** (tier 2, under the global fallback lock + all
+//!   stripes): reads wait out committing writers and writes are
+//!   conflict-visible immediately; mutual exclusion is total.
 
+use std::cell::Cell;
 use std::marker::PhantomData;
 
+use crate::fallback::{self, StripeTable};
 use crate::global;
 use crate::smallset::{SmallLineSet, SmallPairSet};
 use crate::word::TmWord;
@@ -119,6 +140,23 @@ struct OptState {
     /// Distinct cache lines read / written (capacity model).
     read_lines: SmallLineSet,
     write_lines: SmallLineSet,
+    /// Bitmask of fallback stripes covering the lines touched — the
+    /// transaction's footprint as the striped fallback sees it. Maintained
+    /// with one OR per new cache line; checked for freedom at commit.
+    stripes: u64,
+}
+
+struct StripedState {
+    /// Bitmask of stripes the domain acquired for this fallback run; every
+    /// access re-checks membership (coverage) before touching memory.
+    covered: u64,
+    /// Set when an access missed `covered` (or a flush was attempted):
+    /// the run must escalate to the global tier. Nothing was published —
+    /// striped writes are buffered until commit.
+    escaped: Cell<bool>,
+    /// Buffered writes + bloom summary, exactly as in optimistic mode.
+    write_set: SmallPairSet,
+    write_filter: u64,
 }
 
 // The size gap between the variants is the design: `OptState` keeps its
@@ -127,6 +165,7 @@ struct OptState {
 #[allow(clippy::large_enum_variant)]
 enum Mode {
     Optimistic(OptState),
+    Striped(StripedState),
     Irrevocable,
 }
 
@@ -134,12 +173,23 @@ enum Mode {
 pub struct Txn<'t> {
     mode: Mode,
     opts: TxnOptions,
+    /// Stripe table whose footprint stripes commit checks for freedom
+    /// (`None` when the domain runs with striping disabled — legacy
+    /// global-only mode).
+    tbl: Option<&'t StripeTable>,
+    /// The domain's global fallback word; commit checks it for freedom
+    /// alongside the stripes (`None` only in unit tests).
+    global: Option<&'t TmWord>,
     /// Write-set addresses borrow `'t` words; see [`OptState::write_set`].
     _words: PhantomData<&'t TmWord>,
 }
 
 impl<'t> Txn<'t> {
-    pub(crate) fn optimistic(opts: TxnOptions) -> Self {
+    pub(crate) fn optimistic(
+        opts: TxnOptions,
+        tbl: Option<&'t StripeTable>,
+        global: Option<&'t TmWord>,
+    ) -> Self {
         Txn {
             mode: Mode::Optimistic(OptState {
                 rv: global::clock_read(),
@@ -149,8 +199,26 @@ impl<'t> Txn<'t> {
                 write_filter: 0,
                 read_lines: SmallLineSet::new(),
                 write_lines: SmallLineSet::new(),
+                stripes: 0,
             }),
             opts,
+            tbl,
+            global,
+            _words: PhantomData,
+        }
+    }
+
+    pub(crate) fn striped(opts: TxnOptions, covered: u64) -> Self {
+        Txn {
+            mode: Mode::Striped(StripedState {
+                covered,
+                escaped: Cell::new(false),
+                write_set: SmallPairSet::new(),
+                write_filter: 0,
+            }),
+            opts,
+            tbl: None,
+            global: None,
             _words: PhantomData,
         }
     }
@@ -159,13 +227,40 @@ impl<'t> Txn<'t> {
         Txn {
             mode: Mode::Irrevocable,
             opts,
+            tbl: None,
+            global: None,
             _words: PhantomData,
         }
     }
 
-    /// True on the fallback-lock (irrevocable) path.
+    /// True on the global fallback-lock (irrevocable) path.
     pub fn is_irrevocable(&self) -> bool {
         matches!(self.mode, Mode::Irrevocable)
+    }
+
+    /// True on either fallback path (striped tier or global irrevocable
+    /// tier) — i.e. the body is running under a lock, not optimistically.
+    pub fn is_fallback(&self) -> bool {
+        matches!(self.mode, Mode::Striped(_) | Mode::Irrevocable)
+    }
+
+    /// Bitmask of fallback stripes covering this (optimistic)
+    /// transaction's touched lines — its footprint as the striped
+    /// fallback sees it.
+    pub(crate) fn stripe_mask(&self) -> u64 {
+        match &self.mode {
+            Mode::Optimistic(st) => st.stripes,
+            _ => 0,
+        }
+    }
+
+    /// True when a striped fallback run touched a line outside its covered
+    /// stripes (or attempted a flush) and must escalate to the global tier.
+    pub(crate) fn escaped(&self) -> bool {
+        match &self.mode {
+            Mode::Striped(st) => st.escaped.get(),
+            _ => false,
+        }
     }
 
     /// Transactionally reads a word.
@@ -176,6 +271,30 @@ impl<'t> Txn<'t> {
                 // Wait out any committing optimistic writer so we never see
                 // a torn multi-word commit (they hold their locks across the
                 // whole apply phase).
+                let idx = w.lock_idx();
+                while global::is_locked(global::lock_load(idx)) {
+                    std::hint::spin_loop();
+                }
+                Ok(w.load_direct())
+            }
+            Mode::Striped(st) => {
+                let addr = w.addr();
+                if st.write_filter & bloom_bit(addr) != 0 {
+                    if let Some(v) = st.write_set.get(addr) {
+                        return Ok(v);
+                    }
+                }
+                // Coverage: the line's stripe must be held; a miss means
+                // the footprint prediction was wrong — escalate with
+                // nothing published (writes are still buffered).
+                if st.covered & (1u64 << fallback::stripe_of_line(addr >> 6)) == 0 {
+                    st.escaped.set(true);
+                    return Err(Abort::CONFLICT);
+                }
+                // Holding the stripe excludes fallbacks, not an optimistic
+                // writer that validated before our stripe acquisition and
+                // is now applying: wait out its commit locks like the
+                // irrevocable path does.
                 let idx = w.lock_idx();
                 while global::is_locked(global::lock_load(idx)) {
                     std::hint::spin_loop();
@@ -211,6 +330,7 @@ impl<'t> Txn<'t> {
                     if st.read_lines.len() >= opts.read_cap_lines {
                         return Err(Abort::CAPACITY);
                     }
+                    st.stripes |= 1u64 << fallback::stripe_of_line(line);
                     st.read_lines.push(line);
                 }
                 Ok(v)
@@ -219,12 +339,30 @@ impl<'t> Txn<'t> {
     }
 
     /// Transactionally writes a word. The store is buffered until commit in
-    /// optimistic mode; conflict-visible immediately in irrevocable mode.
+    /// optimistic and striped modes; conflict-visible immediately in
+    /// irrevocable mode.
     pub fn write(&mut self, w: &'t TmWord, val: u64) -> TxResult<()> {
         let opts = self.opts;
         match &mut self.mode {
             Mode::Irrevocable => {
                 w.store_nontx(val);
+                Ok(())
+            }
+            Mode::Striped(st) => {
+                let addr = w.addr();
+                if st.covered & (1u64 << fallback::stripe_of_line(addr >> 6)) == 0 {
+                    st.escaped.set(true);
+                    return Err(Abort::CONFLICT);
+                }
+                let bit = bloom_bit(addr);
+                if st.write_filter & bit != 0 {
+                    if let Some(slot) = st.write_set.get_mut(addr) {
+                        *slot = val;
+                        return Ok(());
+                    }
+                }
+                st.write_set.push((addr, val));
+                st.write_filter |= bit;
                 Ok(())
             }
             Mode::Optimistic(st) => {
@@ -241,6 +379,7 @@ impl<'t> Txn<'t> {
                     if st.write_lines.len() >= opts.write_cap_lines {
                         return Err(Abort::CAPACITY);
                     }
+                    st.stripes |= 1u64 << fallback::stripe_of_line(line);
                     st.write_lines.push(line);
                 }
                 st.write_set.push((addr, val));
@@ -263,13 +402,21 @@ impl<'t> Txn<'t> {
     }
 
     /// Models issuing a cache-line flush inside the transaction: aborts in
-    /// optimistic mode (as `CLWB` aborts real RTM), succeeds on the
-    /// irrevocable fallback path (where real code flushes under the lock).
+    /// optimistic mode (as `CLWB` aborts real RTM), escalates a striped
+    /// fallback (its writes are still buffered, so an in-place flush would
+    /// persist stale data), and succeeds on the irrevocable global path
+    /// (where real code flushes under the lock).
     pub fn flush_attempt(&self) -> TxResult<()> {
-        match self.mode {
+        match &self.mode {
             Mode::Optimistic(_) => Err(Abort {
                 code: AbortCode::FlushInTxn,
             }),
+            Mode::Striped(st) => {
+                st.escaped.set(true);
+                Err(Abort {
+                    code: AbortCode::FlushInTxn,
+                })
+            }
             Mode::Irrevocable => Ok(()),
         }
     }
@@ -278,14 +425,33 @@ impl<'t> Txn<'t> {
     pub fn write_set_len(&self) -> usize {
         match &self.mode {
             Mode::Optimistic(st) => st.write_set.len(),
+            Mode::Striped(st) => st.write_set.len(),
             Mode::Irrevocable => 0,
         }
     }
 
     /// Two-phase commit. Consumes the transaction.
     pub(crate) fn commit(self) -> TxResult<()> {
+        let (tbl, global) = (self.tbl, self.global);
         let mut st = match self.mode {
             Mode::Irrevocable => return Ok(()),
+            Mode::Striped(st) => {
+                debug_assert!(!st.escaped.get(), "escaped striped txn must not commit");
+                // The held stripes exclude every conflicting fallback and
+                // abort every footprint-overlapping optimistic txn, so the
+                // buffered writes apply without further validation. Each
+                // `store_nontx` locks the word's table entry, publishes
+                // with Release, and releases at a bumped version — readers
+                // see the same conflict-visible protocol as tier 2.
+                for &(addr, v) in st.write_set.as_slice() {
+                    // SAFETY: every address was inserted from a `&'t
+                    // TmWord` borrow in `write`, and `'t` outlives this
+                    // `Txn`, so the word's storage is still live.
+                    let w = unsafe { &*(addr as *const TmWord) };
+                    w.store_nontx(v);
+                }
+                return Ok(());
+            }
             Mode::Optimistic(st) => st,
         };
         if st.write_set.is_empty() {
@@ -335,6 +501,29 @@ impl<'t> Txn<'t> {
             }
         }
 
+        // Commit-time fallback subscription: with the write locks held,
+        // the global fallback word and every footprint stripe must be
+        // free (even). A fallback in flight right now may have read words
+        // this transaction is about to overwrite — and fallback reads are
+        // never validated, so committing into its window would hand it a
+        // stale snapshot. A fallback that starts *after* this check
+        // cannot race it either: its reads wait out this commit's write
+        // locks word by word, so it observes the fully applied state.
+        // (See the interleaving proof in `crate::fallback`.)
+        let mut held = global.map(|g| g.load_direct() % 2 == 1).unwrap_or(false);
+        if let Some(tbl) = tbl {
+            let mut mask = st.stripes;
+            while !held && mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                held = tbl.word(s).load_direct() % 2 == 1;
+            }
+        }
+        if held {
+            release_all(acquired.as_slice());
+            return Err(Abort::CONFLICT);
+        }
+
         // Phase 3: apply buffered stores, then release at the new version.
         for &(addr, v) in st.write_set.as_slice() {
             // SAFETY: every address was inserted from a `&'t TmWord` borrow
@@ -369,7 +558,7 @@ mod tests {
     #[test]
     fn buffered_write_is_invisible_until_commit() {
         let w = TmWord::new(1);
-        let mut txn = Txn::optimistic(TxnOptions::default());
+        let mut txn = Txn::optimistic(TxnOptions::default(), None, None);
         txn.write(&w, 2).unwrap();
         assert_eq!(w.load_direct(), 1, "store must stay buffered");
         assert_eq!(txn.read(&w).unwrap(), 2, "read-own-write");
@@ -381,7 +570,7 @@ mod tests {
     fn dropped_txn_discards_writes() {
         let w = TmWord::new(1);
         {
-            let mut txn = Txn::optimistic(TxnOptions::default());
+            let mut txn = Txn::optimistic(TxnOptions::default(), None, None);
             txn.write(&w, 99).unwrap();
         }
         assert_eq!(w.load_direct(), 1);
@@ -394,7 +583,7 @@ mod tests {
             read_cap_lines: 4,
             write_cap_lines: 4,
         };
-        let mut txn = Txn::optimistic(opts);
+        let mut txn = Txn::optimistic(opts, None, None);
         let mut aborted = None;
         for w in &words {
             if let Err(a) = txn.read(w) {
@@ -413,7 +602,7 @@ mod tests {
             read_cap_lines: 512,
             write_cap_lines: 2,
         };
-        let mut txn = Txn::optimistic(opts);
+        let mut txn = Txn::optimistic(opts, None, None);
         let mut aborted = None;
         for w in &words {
             if let Err(a) = txn.write(w, 0) {
@@ -427,7 +616,7 @@ mod tests {
     #[test]
     fn nontx_store_conflicts_reader() {
         let w = TmWord::new(0);
-        let mut txn = Txn::optimistic(TxnOptions::default());
+        let mut txn = Txn::optimistic(TxnOptions::default(), None, None);
         let _ = txn.read(&w).unwrap();
         w.store_nontx(1); // concurrent plain store, conflict-visible
         // Reading again must observe a version bump and abort.
@@ -439,7 +628,7 @@ mod tests {
     fn writer_validation_catches_interleaved_commit() {
         let a = TmWord::new(0);
         let b = TmWord::new(0);
-        let mut t1 = Txn::optimistic(TxnOptions::default());
+        let mut t1 = Txn::optimistic(TxnOptions::default(), None, None);
         let va = t1.read(&a).unwrap();
         t1.write(&b, va + 1).unwrap();
         // Another thread commits a write to `a` in between.
@@ -450,7 +639,7 @@ mod tests {
 
     #[test]
     fn flush_attempt_aborts_optimistic_only() {
-        let t = Txn::optimistic(TxnOptions::default());
+        let t = Txn::optimistic(TxnOptions::default(), None, None);
         assert_eq!(
             t.flush_attempt().unwrap_err().code,
             AbortCode::FlushInTxn
@@ -471,7 +660,7 @@ mod tests {
 
     #[test]
     fn explicit_abort_carries_code() {
-        let t = Txn::optimistic(TxnOptions::default());
+        let t = Txn::optimistic(TxnOptions::default(), None, None);
         assert_eq!(t.abort(0xAB).code, AbortCode::Explicit(0xAB));
     }
 
@@ -479,7 +668,7 @@ mod tests {
     fn read_only_commit_is_free_and_consistent() {
         let a = TmWord::new(10);
         let b = TmWord::new(20);
-        let mut t = Txn::optimistic(TxnOptions::default());
+        let mut t = Txn::optimistic(TxnOptions::default(), None, None);
         let x = t.read(&a).unwrap();
         let y = t.read(&b).unwrap();
         assert_eq!(x + y, 30);
@@ -491,7 +680,7 @@ mod tests {
         // Drive the write set far past INLINE_CAP so commit exercises the
         // spilled path: sorted multi-lock acquisition, validation, apply.
         let words: Vec<TmWord> = (0..200).map(TmWord::new).collect();
-        let mut txn = Txn::optimistic(TxnOptions::default());
+        let mut txn = Txn::optimistic(TxnOptions::default(), None, None);
         for (i, w) in words.iter().enumerate() {
             let v = txn.read(w).unwrap();
             txn.write(w, v + i as u64 + 1).unwrap();
@@ -506,7 +695,7 @@ mod tests {
     #[test]
     fn bloom_lets_reads_see_own_writes_in_spilled_sets() {
         let words: Vec<TmWord> = (0..64).map(|_| TmWord::new(0)).collect();
-        let mut txn = Txn::optimistic(TxnOptions::default());
+        let mut txn = Txn::optimistic(TxnOptions::default(), None, None);
         for (i, w) in words.iter().enumerate() {
             txn.write(w, i as u64).unwrap();
         }
@@ -521,5 +710,127 @@ mod tests {
         for (i, w) in words.iter().enumerate() {
             assert_eq!(w.load_direct(), i as u64 + 100);
         }
+    }
+
+    #[test]
+    fn footprint_mask_tracks_touched_stripes() {
+        let tbl = StripeTable::new();
+        let words: Vec<TmWord> = (0..64).map(TmWord::new).collect();
+        let mut txn = Txn::optimistic(TxnOptions::default(), Some(&tbl), None);
+        for w in &words {
+            let _ = txn.read(w).unwrap();
+        }
+        let mask = txn.stripe_mask();
+        assert_ne!(mask, 0, "reads must record their covering stripes");
+        // The mask is exactly the set of stripes covering the touched lines.
+        let mut expect = 0u64;
+        for w in &words {
+            expect |= 1u64 << fallback::stripe_of(w);
+        }
+        assert_eq!(mask, expect);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn commit_aborts_while_footprint_stripe_is_held() {
+        let tbl = StripeTable::new();
+        let w = TmWord::new(5);
+        let mut txn = Txn::optimistic(TxnOptions::default(), Some(&tbl), None);
+        assert_eq!(txn.read(&w).unwrap(), 5);
+        txn.write(&w, 6).unwrap();
+        // A fallback holds the covering stripe while this commit runs: the
+        // commit-time subscription must abort it — the fallback's
+        // unvalidated reads may include `w`, so committing into its window
+        // would hand it a stale snapshot.
+        let conflicts = std::sync::atomic::AtomicU64::new(0);
+        let g = tbl.acquire_mask(1u64 << fallback::stripe_of(&w), &conflicts);
+        assert_eq!(txn.commit(), Err(Abort::CONFLICT));
+        assert_eq!(w.load_direct(), 5, "aborted commit must not publish");
+        drop(g);
+        // Once the stripe is free again, the same update goes through.
+        let mut txn = Txn::optimistic(TxnOptions::default(), Some(&tbl), None);
+        let v = txn.read(&w).unwrap();
+        txn.write(&w, v + 1).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(w.load_direct(), 6);
+    }
+
+    #[test]
+    fn commit_aborts_while_global_fallback_word_is_held() {
+        let lock = crate::fallback::FallbackLock::new();
+        let w = TmWord::new(1);
+        let mut txn = Txn::optimistic(TxnOptions::default(), None, Some(&lock.word));
+        txn.write(&w, 2).unwrap();
+        let g = lock.acquire();
+        assert_eq!(txn.commit(), Err(Abort::CONFLICT));
+        assert_eq!(w.load_direct(), 1);
+        drop(g);
+        let mut txn = Txn::optimistic(TxnOptions::default(), None, Some(&lock.word));
+        txn.write(&w, 2).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(w.load_direct(), 2);
+    }
+
+    #[test]
+    fn completed_fallback_does_not_abort_later_commits() {
+        // A stripe acquired AND released before commit leaves no lasting
+        // mark: lazy subscription only cares about fallbacks in flight at
+        // commit time (a completed fallback serialises before this txn via
+        // its published versions, which read validation checks).
+        let tbl = StripeTable::new();
+        let w = TmWord::new(5);
+        let mut txn = Txn::optimistic(TxnOptions::default(), Some(&tbl), None);
+        assert_eq!(txn.read(&w).unwrap(), 5);
+        txn.write(&w, 6).unwrap();
+        let conflicts = std::sync::atomic::AtomicU64::new(0);
+        drop(tbl.acquire_mask(1u64 << fallback::stripe_of(&w), &conflicts));
+        txn.commit().unwrap();
+        assert_eq!(w.load_direct(), 6);
+    }
+
+    #[test]
+    fn striped_buffers_writes_and_publishes_on_commit() {
+        let w = TmWord::new(1);
+        let covered = 1u64 << fallback::stripe_of(&w);
+        let mut txn = Txn::striped(TxnOptions::default(), covered);
+        assert!(txn.is_fallback() && !txn.is_irrevocable());
+        assert_eq!(txn.read(&w).unwrap(), 1);
+        txn.write(&w, 2).unwrap();
+        assert_eq!(w.load_direct(), 1, "striped writes stay buffered");
+        assert_eq!(txn.read(&w).unwrap(), 2, "read-own-write");
+        assert!(!txn.escaped());
+        txn.commit().unwrap();
+        assert_eq!(w.load_direct(), 2);
+    }
+
+    #[test]
+    fn striped_coverage_miss_escapes_without_publishing() {
+        let a = TmWord::new(0);
+        let b = TmWord::new(0);
+        let sa = 1u64 << fallback::stripe_of(&a);
+        let sb = 1u64 << fallback::stripe_of(&b);
+        if sa == sb {
+            // `a` and `b` are separate heap locals; same-stripe collisions
+            // are possible (1/64) — the disjoint case is what we test.
+            return;
+        }
+        let mut txn = Txn::striped(TxnOptions::default(), sa);
+        txn.write(&a, 1).unwrap();
+        assert_eq!(txn.read(&b), Err(Abort::CONFLICT), "uncovered line");
+        assert!(txn.escaped());
+        drop(txn);
+        assert_eq!(a.load_direct(), 0, "escaped run must publish nothing");
+    }
+
+    #[test]
+    fn striped_flush_escapes() {
+        let w = TmWord::new(0);
+        let txn = Txn::striped(TxnOptions::default(), u64::MAX);
+        assert_eq!(
+            txn.flush_attempt().unwrap_err().code,
+            AbortCode::FlushInTxn
+        );
+        assert!(txn.escaped());
+        let _ = w;
     }
 }

@@ -48,6 +48,7 @@ impl RnTree {
         let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
         let index = InnerIndex::new(leaf_ref(first));
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
+        index.domain().set_striped_fallback(cfg.striped_fallback);
         RnTree {
             pool,
             alloc,
@@ -124,6 +125,7 @@ impl RnTree {
 
         let index = InnerIndex::new(leaf_ref(leftmost));
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
+        index.domain().set_striped_fallback(cfg.striped_fallback);
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
@@ -183,6 +185,7 @@ impl RnTree {
 
         let index = InnerIndex::new(leaf_ref(leftmost));
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
+        index.domain().set_striped_fallback(cfg.striped_fallback);
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }

@@ -97,6 +97,13 @@ pub struct RnConfig {
     /// e.g. shards of an `index_common::ShardedIndex` — can never flip each
     /// other's descent path.
     pub legacy_seq_descent: bool,
+    /// Use the fine-grained (address-striped) HTM fallback tier: a
+    /// conflict-driven fallback locks only the stripes covering its
+    /// observed footprint instead of the whole domain, so fallbacks on
+    /// different leaves stop serialising unrelated operations. Off
+    /// restores the PR-4 single global fallback lock (the before side of
+    /// `repro contention-scale`).
+    pub striped_fallback: bool,
 }
 
 impl Default for RnConfig {
@@ -109,6 +116,7 @@ impl Default for RnConfig {
             leaf_prefetch: true,
             async_flush: true,
             legacy_seq_descent: false,
+            striped_fallback: true,
         }
     }
 }
@@ -1208,10 +1216,12 @@ impl std::fmt::Debug for RnTree {
 
 impl ObsSource for RnTree {
     /// Sections: `tree` (structure + op counters), `pmem`
-    /// (persistence-instruction counters), `htm` (abort taxonomy),
-    /// `htm_retries` (the retries-to-commit distribution), `phases` (the
-    /// modify-path breakdown, present only while the timers are enabled),
-    /// and `events` (the pool's crash-forensics ring).
+    /// (persistence-instruction counters), `htm` (abort taxonomy,
+    /// including the fallback-tier split and stripe conflict/escape
+    /// counters), `htm_retries` (the retries-to-commit distribution plus
+    /// the adaptive policy's effective-retry-budget distribution),
+    /// `phases` (the modify-path breakdown, present only while the timers
+    /// are enabled), and `events` (the pool's crash-forensics ring).
     fn obs_sections(&self) -> Vec<(String, Section)> {
         let mut tree = self.stats().counters();
         let rn = self.rn_stats();
@@ -1226,10 +1236,16 @@ impl ObsSource for RnTree {
             ("htm".to_string(), Section::Counters(htm.counters())),
             (
                 "htm_retries".to_string(),
-                Section::Latencies(vec![(
-                    "retries_to_commit".to_string(),
-                    self.index.domain().stats().retries_to_commit(),
-                )]),
+                Section::Latencies(vec![
+                    (
+                        "retries_to_commit".to_string(),
+                        self.index.domain().stats().retries_to_commit(),
+                    ),
+                    (
+                        "retry_budget".to_string(),
+                        self.index.domain().stats().retry_budget(),
+                    ),
+                ]),
             ),
         ];
         if self.timers.is_enabled() {

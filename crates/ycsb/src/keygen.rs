@@ -131,8 +131,41 @@ impl Zipf {
     }
 }
 
-/// Harmonic-like normaliser Σ 1/i^θ for i in 1..=n.
+/// Harmonic-like normaliser Σ 1/i^θ for i in 1..=n, memoised per (n, θ).
+///
+/// The raw sum is O(n); benchmark setup builds a sampler per
+/// (tree × thread × round) cell over the same key space, so without the
+/// cache a contention sweep recomputes the identical 10⁵–10⁷-term sum
+/// dozens of times. The cache is a tiny process-wide vector (distinct
+/// (n, θ) pairs in one run are few) behind a mutex that is only touched
+/// at sampler construction, never on the sampling hot path.
 fn zeta(n: u64, theta: f64) -> f64 {
+    use std::sync::{Mutex, OnceLock};
+    /// Cache entries: ((n, θ bits) key, zeta value).
+    type ZetaCache = Vec<((u64, u64), f64)>;
+    static CACHE: OnceLock<Mutex<ZetaCache>> = OnceLock::new();
+    let key = (n, theta.to_bits());
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    if let Some(&(_, z)) = cache.lock().unwrap().iter().find(|&&(k, _)| k == key) {
+        return z;
+    }
+    let z = zeta_compute(n, theta);
+    let mut guard = cache.lock().unwrap();
+    // A racing builder may have inserted the same key; duplicates are
+    // harmless (both values are identical) but keep the vector tidy.
+    if !guard.iter().any(|&(k, _)| k == key) {
+        guard.push((key, z));
+    }
+    z
+}
+
+#[cfg(test)]
+static ZETA_COMPUTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The uncached O(n) zeta sum.
+fn zeta_compute(n: u64, theta: f64) -> f64 {
+    #[cfg(test)]
+    ZETA_COMPUTES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut sum = 0.0;
     for i in 1..=n {
         sum += 1.0 / (i as f64).powf(theta);
@@ -222,6 +255,50 @@ mod tests {
         let mut hot: Vec<(u64, u32)> = counts.into_iter().collect();
         hot.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         assert!(hot.iter().take(10).any(|&(k, _)| k > 1_000), "{:?}", &hot[..10]);
+    }
+
+    #[test]
+    fn zeta_is_cached_per_n_theta() {
+        // Untouched (n, θ) pairs so other tests can't have warmed them.
+        let before = ZETA_COMPUTES.load(std::sync::atomic::Ordering::Relaxed);
+        let _ = KeyDist::Zipfian { n: 77_777, theta: 0.77 }.build();
+        let mid = ZETA_COMPUTES.load(std::sync::atomic::Ordering::Relaxed);
+        // A sampler build computes zeta(n) and zeta(2) at most once each.
+        assert!(mid - before <= 2, "first build computed {}", mid - before);
+        for _ in 0..10 {
+            let _ = KeyDist::Zipfian { n: 77_777, theta: 0.77 }.build();
+            let _ = KeyDist::ScrambledZipfian { n: 77_777, theta: 0.77 }.build();
+        }
+        let after = ZETA_COMPUTES.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(after, mid, "rebuilds over the same (n, θ) must not recompute");
+    }
+
+    #[test]
+    fn zipfian_head_frequencies_match_theory() {
+        // The two hottest ranks have closed-form probabilities in the YCSB
+        // construction: P(1) = 1/ζ(n,θ), P(2) = 2^-θ/ζ(n,θ). Pin them.
+        let (n, theta) = (10_000u64, 0.99f64);
+        let zetan = zeta_compute(n, theta);
+        let p1 = 1.0 / zetan;
+        let p2 = 0.5f64.powf(theta) / zetan;
+        let g = KeyDist::Zipfian { n, theta }.build();
+        let mut rng = SplitMix64::new(6);
+        let total = 200_000u64;
+        let (mut c1, mut c2) = (0u64, 0u64);
+        for _ in 0..total {
+            match g.next_key(&mut rng) {
+                1 => c1 += 1,
+                2 => c2 += 1,
+                _ => {}
+            }
+        }
+        let f1 = c1 as f64 / total as f64;
+        let f2 = c2 as f64 / total as f64;
+        assert!((f1 - p1).abs() < 0.1 * p1, "rank-1: {f1} vs {p1}");
+        assert!((f2 - p2).abs() < 0.1 * p2, "rank-2: {f2} vs {p2}");
+        // Sanity on the magnitude itself: θ=0.99 over 10k keys puts ≈9–10%
+        // of all draws on the single hottest key.
+        assert!(p1 > 0.08 && p1 < 0.12, "zetan drifted: p1={p1}");
     }
 
     #[test]
