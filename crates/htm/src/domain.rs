@@ -21,7 +21,8 @@
 //! * **Tier 1 (striped)**: a conflict-driven fallback acquires only the
 //!   fallback stripes covering the footprint its optimistic attempts
 //!   observed (the union of their stripe subscriptions), runs the body
-//!   with buffered writes, and publishes under those stripes. Fallbacks
+//!   with buffered writes, and publishes them under those stripes
+//!   atomically at a single commit version. Fallbacks
 //!   on disjoint stripes — different leaves, in tree terms — no longer
 //!   serialise against each other or against unrelated transactions.
 //! * **Tier 2 (global)**: capacity and flush aborts (footprint unknown or
@@ -275,9 +276,12 @@ impl HtmDomain {
         }
 
         loop {
-            // Lock elision prologue: wait out any fallback holder.
-            self.fallback.wait_until_free();
-
+            // The lock-elision prologue (wait out a fallback holder) lives
+            // inside `Txn::optimistic` now: the begin-time subscription
+            // must re-sample `rv` after each observation of the global
+            // word, or an irrevocable window could open between the wait
+            // and the rv sample (the exact race a bare `wait_until_free`
+            // here had).
             self.stats.attempts.fetch_add(1, Relaxed);
             crate::set_in_transaction(true);
             // Commit-time fallback subscription: the txn tracks its stripe
@@ -789,6 +793,120 @@ mod tests {
             Ok(())
         });
         assert!(!crate::in_transaction());
+    }
+
+    #[test]
+    fn read_only_snapshots_never_tear_across_striped_fallbacks() {
+        // Writers force every op onto the tier-1 striped fallback (one
+        // fabricated conflict, zero retry budget, footprint known) and
+        // increment (a, b) in lockstep; read-only sections — which skip
+        // the commit-time subscription check entirely — must still never
+        // observe a != b. With per-word fallback publishes (each at its
+        // own version) a reader whose rv lands between the two publishes
+        // would commit a torn snapshot; the single-wv striped publish is
+        // what this pins.
+        let d = Arc::new(HtmDomain::with_options(
+            TxnOptions::default(),
+            RetryPolicy {
+                max_retries: 0,
+                adaptive: false,
+            },
+        ));
+        let a = Arc::new(TmWord::new(0));
+        let b = Arc::new(TmWord::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let (d, a, b, stop) = (
+                Arc::clone(&d),
+                Arc::clone(&a),
+                Arc::clone(&b),
+                Arc::clone(&stop),
+            );
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let mut forced = false;
+                    d.atomic(|t| {
+                        let x = t.read(&a)?;
+                        let y = t.read(&b)?;
+                        if !t.is_fallback() && !forced {
+                            forced = true;
+                            return Err(Abort::CONFLICT);
+                        }
+                        t.write(&a, x + 1)?;
+                        t.write(&b, y + 1)
+                    });
+                }
+            }));
+        }
+        let (dr, ar, br) = (Arc::clone(&d), Arc::clone(&a), Arc::clone(&b));
+        let reader = std::thread::spawn(move || {
+            for _ in 0..5_000 {
+                let (x, y) = dr.atomic(|t| {
+                    let x = t.read(&ar)?;
+                    let y = t.read(&br)?;
+                    Ok((x, y))
+                });
+                assert_eq!(x, y, "read-only commit saw a torn striped publish");
+            }
+        });
+        reader.join().unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load_direct(), b.load_direct());
+        assert!(
+            d.stats().snapshot().fallbacks_striped > 0,
+            "the striped tier must actually have been exercised"
+        );
+    }
+
+    #[test]
+    fn optimistic_begin_subscribes_to_the_irrevocable_window() {
+        // A tier-2 (irrevocable) fallback publishes in place, word by
+        // word, with no single commit version — so optimistic begin must
+        // not take an rv from inside its window. The writer holds the
+        // window open (a published, b not yet) while the reader begins;
+        // the begin-time subscription forces the reader to wait the
+        // window out and see (1, 1). Without it the reader's rv covers
+        // a's publish but not b's, and it commits the torn (1, 0).
+        let d = Arc::new(HtmDomain::new());
+        let a = Arc::new(TmWord::new(0));
+        let b = Arc::new(TmWord::new(0));
+        let stage = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let (dw, aw, bw, sw) = (
+            Arc::clone(&d),
+            Arc::clone(&a),
+            Arc::clone(&b),
+            Arc::clone(&stage),
+        );
+        let writer = std::thread::spawn(move || {
+            dw.atomic(|t| {
+                t.flush_attempt()?; // aborts optimistic ⇒ tier 2
+                t.write(&aw, 1)?;
+                sw.store(1, std::sync::atomic::Ordering::Release);
+                // Hold the window open long enough for the reader to try
+                // to begin inside it.
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                t.write(&bw, 1)?;
+                Ok(())
+            });
+        });
+        while stage.load(std::sync::atomic::Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        let (x, y) = d.atomic(|t| {
+            let x = t.read(&a)?;
+            let y = t.read(&b)?;
+            Ok((x, y))
+        });
+        writer.join().unwrap();
+        assert_eq!(
+            (x, y),
+            (1, 1),
+            "begin must wait out the tier-2 write window, not sample rv inside it"
+        );
     }
 
     #[test]

@@ -28,20 +28,33 @@
 //! Let *O* be an optimistic transaction, *S* a tier-1 (striped) fallback,
 //! and *G* a tier-2 (global) fallback (*F* for either fallback kind).
 //!
-//! **Subscription is lazy (commit-time).** *O* merely ORs the covering
-//! stripe of each new cache line ([`stripe_of_line`]) into a footprint
-//! bitmask — no loads, no read-set entries — and, if it commits writes,
-//! checks once *after its write locks are held* that the global word and
-//! every footprint stripe are free (even). Lazy subscription is a known
+//! **Subscription is two-point.** At *begin*, *O* samples `rv` and then
+//! loads the **global word**, re-sampling until it is observed free:
+//! since tier-2 publishes are in-place stores with no single commit
+//! version, this is what guarantees `rv` never falls *inside* an
+//! irrevocable write window (a publish at version v ≤ rv happened before
+//! the clock reached `rv`; clock bumps form a release sequence, so
+//! reading `rv ≥ v` synchronizes-with that publisher's bump, whose
+//! word-acquisition precedes it — the post-`rv` word load must still see
+//! it odd). During the body, *O* merely ORs the covering stripe of each
+//! new cache line ([`stripe_of_line`]) into a footprint bitmask — no
+//! loads, no read-set entries — and, if it commits writes, checks once
+//! *after its write locks are held* that the global word and every
+//! footprint stripe are free (even). Lazy stripe subscription is a known
 //! soundness trap on real RTM: a hardware transaction can act on a torn
 //! read long before reaching `XEND`. This STM cannot produce that zombie:
 //!
 //! **Lemma (opacity).** Every optimistic read is sandwich-validated
-//! against the start snapshot `rv`, and *every* fallback write lands via
-//! `store_nontx` (tier 1 buffers and publishes before stripe release;
-//! tier 2 stores in place), which bumps the word's version past `rv`.
-//! So an in-flight *O* either reads a pre-*F* value or aborts at the
-//! offending read — it can never *observe* a fallback's writes torn.
+//! against the start snapshot `rv`, and every fallback write set is
+//! published **`rv`-indivisibly**: tier 1 buffers its writes and commits
+//! them under the word version-locks at a *single* commit version `wv`
+//! (entries locked across the whole apply, all released at `wv`, exactly
+//! like an optimistic commit), and tier 2's in-place `store_nontx`
+//! publishes are fenced off from every `rv` by the begin-time global-word
+//! subscription above. So an in-flight *O* either reads pre-*F* values,
+//! reads the whole published set, or aborts at the offending read — it
+//! can never *observe* a fallback's writes torn, not even across the
+//! multiple words of one fallback's write set.
 //!
 //! The one hazard left is the reverse direction: *F*'s reads are never
 //! validated, so an *O* that commits writes **into *F*'s window** would
@@ -56,7 +69,13 @@
 //! word-by-word:
 //!
 //! * *F* in flight at *O*'s commit check → a shared stripe (or the
-//!   global word) is odd → *O* aborts.
+//!   global word) is odd → *O* aborts. This case is a store-buffering
+//!   shape (*O* stores lock entries then loads fallback words; *F* CASes
+//!   a fallback word then loads lock entries before its first data
+//!   access), so both sides carry a **`SeqCst` fence** — *O* between
+//!   phase-1 acquisition and the check, *F* in [`acquire_word`] between
+//!   acquisition and the body — guaranteeing at least one side observes
+//!   the other's store on non-TSO hardware too.
 //! * *F* ended before *O*'s read validation → *F*'s publishes bumped
 //!   versions, so any read overlap aborts *O*; pure write-into-*F*-reads
 //!   overlap serialises *F* before *O*.
@@ -67,8 +86,15 @@
 //! * *F* began after *O*'s check → *F*'s reads of *O*-written words spin
 //!   until *O*'s release and see the fully applied state: *O* → *F*.
 //!
-//! A read-only *O* commits nothing, perturbs no window, and is
-//! rv-consistent by the opacity lemma — it skips the check entirely.
+//! A read-only *O* commits nothing and perturbs no window, so the only
+//! obligation is its own snapshot — and the opacity lemma now covers it
+//! **across** a fallback's write set, not just per word: tier 1's
+//! single-`wv` publish makes the set indivisible under sandwich
+//! validation, and the begin-time global-word subscription pins `rv`
+//! outside every tier-2 window. It therefore skips the commit-time
+//! check entirely; without those two mechanisms (per-word tier-1
+//! publish versions, or `rv` sampled mid-tier-2-window) it could commit
+//! a torn slice of an atomic fallback section.
 //!
 //! **O vs G.** The same argument with "all stripes + the global word" as
 //! the footprint; the global-word check keeps it valid verbatim when
@@ -105,9 +131,11 @@ const SPIN_LIMIT: u32 = 64;
 /// Fibonacci hash of the line number, top bits: uniformly distributed,
 /// and line-granular so the stripes a transaction subscribes to are
 /// exactly the stripes a fallback with the same footprint acquires.
+/// Hashed in `u64` so 32-bit targets compile (the multiplier does not
+/// fit in a 32-bit `usize`) and the mixing quality argument holds.
 #[inline]
 pub(crate) fn stripe_of_line(line: usize) -> usize {
-    (line.wrapping_mul(0x9E37_79B9_7F4A_7C15_usize) >> (usize::BITS - 6)) & (STRIPES - 1)
+    (((line as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize) & (STRIPES - 1)
 }
 
 /// Stripe index covering a word (diagnostic; used by stress tests and the
@@ -130,6 +158,17 @@ fn acquire_word(word: &TmWord, contended: Option<&AtomicU64>) {
     loop {
         let cur = word.load_direct();
         if cur.is_multiple_of(2) && word.cas_nontx(cur, cur + 1).is_ok() {
+            // Ordering: SeqCst fence between acquiring the fallback word
+            // and the fallback's first data access. Pairs with the fence
+            // in optimistic commit (between its phase-1 lock stores and
+            // its fallback-word loads): the two sides form a
+            // store-buffering pattern, and without a total order both
+            // could read stale — the committer seeing this word free
+            // while this fallback sees the commit's word locks free and
+            // reads pre-commit data. x86's locked RMWs mask this; on
+            // weaker architectures the fence is required. See the proof
+            // in the module docs.
+            std::sync::atomic::fence(Ordering::SeqCst);
             return;
         }
         if !counted {
@@ -185,9 +224,13 @@ impl FallbackLock {
         FallbackGuard { lock: self }
     }
 
-    /// Waits until the lock is observed free (used before starting an
-    /// optimistic transaction, like the `while (lock_is_held) pause;` loop
-    /// in real elision code). Bounded spin, then `yield_now`.
+    /// Waits until the lock is observed free, like the
+    /// `while (lock_is_held) pause;` loop in real elision code. Bounded
+    /// spin, then `yield_now`. This is a plain pre-start wait, **not** a
+    /// subscription — the software TM's begin-time subscription (which
+    /// must re-sample `rv` after each observation of this word) lives in
+    /// `Txn::optimistic`; only the native-RTM elision path, where the
+    /// in-transaction `is_held` read is the real subscription, uses this.
     #[inline]
     pub fn wait_until_free(&self) {
         let mut spins = 0u32;

@@ -74,8 +74,10 @@ fn table() -> &'static LockTable {
 #[inline]
 pub(crate) fn lock_index(addr: usize) -> usize {
     // Fibonacci hashing of the word address (drop the 3 alignment bits).
-    let h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15_usize);
-    h >> (usize::BITS as usize - LOCK_TABLE_BITS)
+    // Hashed in u64 so 32-bit targets compile (the multiplier does not
+    // fit in a 32-bit usize).
+    let h = ((addr as u64) >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - LOCK_TABLE_BITS)) as usize
 }
 
 /// Loads lock entry `idx`.

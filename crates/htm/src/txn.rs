@@ -5,7 +5,12 @@
 //! algorithm is classic TL2 (Dice, Shalev, Shavit 2006) specialised to
 //! 64-bit words:
 //!
-//! * `begin`: sample the global clock into the read version `rv`.
+//! * `begin`: sample the global clock into the read version `rv`, then
+//!   subscribe to the tier-2 (global) fallback word: re-sample until the
+//!   word is observed free *after* `rv` was taken, so no optimistic
+//!   section can start with an `rv` from inside an irrevocable fallback's
+//!   write window (whose in-place publishes have no single commit
+//!   timestamp).
 //! * `read w`: validate that `w`'s version lock is free and its version is
 //!   at most `rv`, sandwiching the value load between two lock loads.
 //! * `write w`: buffer the value in the write set (invisible until commit —
@@ -31,7 +36,10 @@
 //! every read is sandwich-validated against `rv`, so a transaction can
 //! never observe fallback writes torn — the only race left is committing
 //! *into* an in-flight fallback's read window, which is exactly what the
-//! commit-time check closes. See the proof in [`crate::fallback`].
+//! commit-time check closes. See the proof in [`crate::fallback`],
+//! including the `SeqCst` fence that orders the phase-1 lock stores
+//! before the subscription loads (a store-buffering pattern on non-TSO
+//! hardware otherwise).
 //!
 //! Fallback execution comes in two shapes:
 //!
@@ -39,10 +47,18 @@
 //!   buffered like optimistic ones and every access re-checks that its
 //!   line's stripe is actually held; a miss marks the transaction *escaped*
 //!   and aborts it with nothing published, letting the domain escalate to
-//!   tier 2.
+//!   tier 2. Commit publishes the buffered writes **atomically at one
+//!   commit version**: it locks the write set's version-lock entries
+//!   (sorted, spin-until-held — a fallback cannot abort), bumps the clock
+//!   once, applies, and releases every entry at that single `wv`. This is
+//!   the property that keeps read-only optimistic commits check-free: a
+//!   striped fallback's write set is indivisible under the ordinary TL2
+//!   sandwich validation, exactly like an optimistic commit's.
 //! * **Irrevocable** (tier 2, under the global fallback lock + all
 //!   stripes): reads wait out committing writers and writes are
-//!   conflict-visible immediately; mutual exclusion is total.
+//!   conflict-visible immediately; mutual exclusion is total. Its
+//!   word-by-word publishes carry *no* single commit version, which is
+//!   why optimistic `begin` subscribes to the global word (above).
 
 use std::cell::Cell;
 use std::marker::PhantomData;
@@ -116,13 +132,18 @@ impl Default for TxnOptions {
 /// Bounded spin iterations when acquiring a write-set lock at commit.
 const COMMIT_LOCK_SPINS: u32 = 128;
 
+/// Bounded spin iterations before yielding while a must-succeed wait spins
+/// (begin-time subscription, striped-publish lock acquisition).
+const WAIT_SPIN_LIMIT: u32 = 64;
+
 /// Bloom bit for a word address in the 64-bit write-set summary.
 ///
 /// Top 6 bits of a Fibonacci hash of the word index: uniformly distributed,
-/// and word-granular so adjacent words get independent bits.
+/// and word-granular so adjacent words get independent bits. Hashed in
+/// `u64` so 32-bit targets compile (and mix through all 64 bits).
 #[inline]
 fn bloom_bit(addr: usize) -> u64 {
-    1u64 << ((addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15_usize) >> (usize::BITS - 6))
+    1u64 << (((addr as u64) >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
 }
 
 struct OptState {
@@ -190,9 +211,40 @@ impl<'t> Txn<'t> {
         tbl: Option<&'t StripeTable>,
         global: Option<&'t TmWord>,
     ) -> Self {
+        // Begin-time tier-2 subscription: take `rv`, *then* observe the
+        // global fallback word free; if an irrevocable fallback is (or
+        // might still be) in its write window, re-sample. Order matters —
+        // an irrevocable publish at version v <= rv happened before the
+        // clock reached rv, and the publisher acquired the word before
+        // publishing, so a post-rv load of the word still sees it odd
+        // (clock bumps form a release sequence; reading rv >= v
+        // synchronizes-with the publisher's bump). Hence a free word
+        // observed *after* sampling rv proves no irrevocable write with
+        // version <= rv can still be mid-window: read-only sections can
+        // never commit a torn slice of a tier-2 write set. (Tier-1
+        // striped fallbacks need no begin check — they publish at a
+        // single wv under the word version-locks, see `commit`.)
+        let rv = {
+            let mut spins = 0u32;
+            loop {
+                let rv = global::clock_read();
+                match global {
+                    Some(g) if g.load_direct() % 2 == 1 => {
+                        spins += 1;
+                        if spins >= WAIT_SPIN_LIMIT {
+                            spins = 0;
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    _ => break rv,
+                }
+            }
+        };
         Txn {
             mode: Mode::Optimistic(OptState {
-                rv: global::clock_read(),
+                rv,
                 owner: global::next_ticket(),
                 read_set: SmallPairSet::new(),
                 write_set: SmallPairSet::new(),
@@ -435,20 +487,66 @@ impl<'t> Txn<'t> {
         let (tbl, global) = (self.tbl, self.global);
         let mut st = match self.mode {
             Mode::Irrevocable => return Ok(()),
-            Mode::Striped(st) => {
+            Mode::Striped(mut st) => {
                 debug_assert!(!st.escaped.get(), "escaped striped txn must not commit");
                 // The held stripes exclude every conflicting fallback and
-                // abort every footprint-overlapping optimistic txn, so the
-                // buffered writes apply without further validation. Each
-                // `store_nontx` locks the word's table entry, publishes
-                // with Release, and releases at a bumped version — readers
-                // see the same conflict-visible protocol as tier 2.
-                for &(addr, v) in st.write_set.as_slice() {
+                // abort every footprint-overlapping optimistic committer,
+                // so the buffered writes apply without validation — but
+                // they must publish **atomically at one commit version**.
+                // Per-word `store_nontx` would give each word its own
+                // version: a read-only optimistic txn sampling rv between
+                // two of those bumps would pass sandwich validation on the
+                // already-published words *and* on the still-old ones,
+                // committing a torn slice of this supposedly atomic write
+                // set. So reuse the optimistic phase-1/phase-3 machinery:
+                // lock every entry (sorted ascending, same order as
+                // optimistic commits and other striped publishes — no
+                // deadlock; optimistic committers bound their spin and
+                // abort, so spinning here until held cannot wedge), bump
+                // the clock once, apply, release everything at that wv.
+                // Readers then see the set indivisible: entries locked
+                // during apply, all versions equal to wv after.
+                let ws = st.write_set.as_mut_slice();
+                ws.sort_unstable_by_key(|&(addr, _)| global::lock_index(addr));
+                let owner = global::next_ticket();
+                let ws = st.write_set.as_slice();
+                let mut acquired = SmallPairSet::new();
+                for i in 0..ws.len() {
+                    let idx = global::lock_index(ws[i].0);
+                    if i > 0 && global::lock_index(ws[i - 1].0) == idx {
+                        continue; // duplicate entry (adjacent after sort)
+                    }
+                    let mut spins = 0u32;
+                    loop {
+                        let cur = global::lock_load(idx);
+                        if !global::is_locked(cur)
+                            && global::lock_try_acquire(idx, cur, owner)
+                        {
+                            acquired.push((idx, cur));
+                            break;
+                        }
+                        spins += 1;
+                        if spins >= WAIT_SPIN_LIMIT {
+                            spins = 0;
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                let wv = global::clock_bump();
+                for &(addr, v) in ws {
                     // SAFETY: every address was inserted from a `&'t
                     // TmWord` borrow in `write`, and `'t` outlives this
                     // `Txn`, so the word's storage is still live.
                     let w = unsafe { &*(addr as *const TmWord) };
-                    w.store_nontx(v);
+                    // Ordering: Release — pairs with the Acquire loads in
+                    // `TmWord::load_direct` / `global::lock_load`, exactly
+                    // as in the optimistic phase 3 below.
+                    w.0.store(v, std::sync::atomic::Ordering::Release);
+                }
+                for &(idx, _) in acquired.as_slice() {
+                    global::lock_release(idx, wv);
                 }
                 return Ok(());
             }
@@ -456,7 +554,12 @@ impl<'t> Txn<'t> {
         };
         if st.write_set.is_empty() {
             // Read-only: every read was validated against rv when it
-            // happened, so the snapshot is already consistent.
+            // happened, so the snapshot is already consistent. This stays
+            // sound against fallbacks without any stripe/global check
+            // because both fallback tiers publish rv-indivisibly: tier 1
+            // at a single commit version under the word locks (above),
+            // tier 2 behind the begin-time global-word subscription that
+            // guarantees rv predates any still-open irrevocable window.
             return Ok(());
         }
 
@@ -510,6 +613,17 @@ impl<'t> Txn<'t> {
         // cannot race it either: its reads wait out this commit's write
         // locks word by word, so it observes the fully applied state.
         // (See the interleaving proof in `crate::fallback`.)
+        //
+        // Ordering: SeqCst fence. The check is the classic store-buffering
+        // shape — this committer stores lock-table entries then loads the
+        // fallback words, while a fallback CASes a fallback word then loads
+        // lock-table entries before its first data access. With only
+        // Acquire/Release both sides may read stale ("both see free") on
+        // non-TSO hardware, letting this commit land inside the fallback's
+        // read window. This fence pairs with the one in
+        // `fallback::acquire_word` (after a successful acquisition): in
+        // any execution at least one side observes the other's store.
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         let mut held = global.map(|g| g.load_direct() % 2 == 1).unwrap_or(false);
         if let Some(tbl) = tbl {
             let mut mask = st.stripes;
@@ -801,6 +915,30 @@ mod tests {
         assert!(!txn.escaped());
         txn.commit().unwrap();
         assert_eq!(w.load_direct(), 2);
+    }
+
+    #[test]
+    fn striped_publish_releases_all_entries_at_one_version() {
+        // The torn-read-only-snapshot fix: a striped fallback's write set
+        // must publish at a single commit version, or a read-only txn
+        // whose rv lands between two per-word publishes passes sandwich
+        // validation on a torn slice. Retry a few times because unrelated
+        // concurrent tests can bump a hash-shared lock entry between the
+        // two observation loads.
+        for _ in 0..3 {
+            let words: Vec<TmWord> = (0..2).map(|_| TmWord::new(0)).collect();
+            let (a, b) = (&words[0], &words[1]);
+            let mut txn = Txn::striped(TxnOptions::default(), u64::MAX);
+            txn.write(a, 1).unwrap();
+            txn.write(b, 2).unwrap();
+            txn.commit().unwrap();
+            assert_eq!((a.load_direct(), b.load_direct()), (1, 2));
+            let (ia, ib) = (a.lock_idx(), b.lock_idx());
+            if ia == ib || global::lock_load(ia) == global::lock_load(ib) {
+                return; // one entry (vacuous) or one version observed
+            }
+        }
+        panic!("striped commit must release its write set at one wv");
     }
 
     #[test]
