@@ -19,7 +19,10 @@
 //! (striped vs global HTM fallback under plain-Zipfian skew, YCSB-A/B at
 //! θ ∈ {0.7, 0.9, 0.99}; asserts the striped tier never loses a
 //! contended high-skew point; written to `BENCH_PR5.json` or `--out
-//! PATH`).
+//! PATH`), and `cache-scale` (DRAM page-cache descent vs the
+//! all-transactional descent across cache-resident and overflow working
+//! sets; asserts a detectable win when resident and no cliff when
+//! overflowing; written to `BENCH_PR6.json` or `--out PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
 //! `--out PATH`, `--assert-overhead PCT` (obs-report only: fail the run
@@ -32,7 +35,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH] [--assert-overhead PCT]"
     );
@@ -51,6 +54,7 @@ fn main() {
         "batch-scale" => "BENCH_PR3.json",
         "obs-report" => "BENCH_PR4.json",
         "contention-scale" => "BENCH_PR5.json",
+        "cache-scale" => "BENCH_PR6.json",
         _ => "BENCH_PR1.json",
     });
     let mut assert_overhead: Option<f64> = None;
@@ -132,6 +136,7 @@ fn main() {
         "batch-scale" => bench::batchbench::batch_scale(&scale, &out_path),
         "obs-report" => bench::obsbench::obs_report(&scale, &out_path, assert_overhead),
         "contention-scale" => bench::contbench::contention_scale(&scale, &out_path),
+        "cache-scale" => bench::cachebench::cache_scale(&scale, &out_path),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

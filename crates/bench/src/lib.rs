@@ -23,6 +23,7 @@
 //! happen. EXPERIMENTS.md records paper-vs-measured per experiment.
 
 pub mod batchbench;
+pub mod cachebench;
 pub mod contbench;
 pub mod experiments;
 pub mod harness;

@@ -75,6 +75,7 @@
 
 mod domain;
 mod fallback;
+mod gate;
 mod global;
 #[cfg(feature = "rtm-native")]
 pub mod native;
@@ -85,6 +86,7 @@ mod word;
 
 pub use domain::{HtmDomain, RetryPolicy};
 pub use fallback::{stripe_of, FallbackLock, StripeTable, STRIPES};
+pub use gate::OptimisticGate;
 pub use stats::{HtmStats, HtmStatsSnapshot};
 pub use txn::{Abort, AbortCode, Txn, TxnOptions};
 pub use word::TmWord;

@@ -17,10 +17,11 @@
 //!   reader can never dereference a dangling inner pointer. All nodes are
 //!   owned by a registry and freed when the [`InnerIndex`] drops.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use htm::{HtmDomain, TmWord, TxResult, Txn};
+use htm::{HtmDomain, OptimisticGate, TmWord, TxResult, Txn};
+use nvm::{FrameView, PageCache, FRAME_WORDS};
 
 use crate::{is_leaf_ref, Key};
 
@@ -65,6 +66,44 @@ fn prefetch_node<T>(p: *const T) {
     let _ = p;
 }
 
+/// Cached-frame image of an [`Inner`]: word 0 = count, words 1..=31 =
+/// keys, words 32..63 = children. One node fills one frame exactly
+/// ([`FRAME_WORDS`] = 64).
+const _: () = assert!(FRAME_WORDS == 1 + MAX_KEYS + INNER_FANOUT);
+
+/// Branching binary search over a node image in frame-word layout,
+/// returning the child covering `key`. `word(i)` supplies the i-th image
+/// word (from a [`FrameView`] or a local snapshot).
+#[inline]
+fn route_words(word: impl Fn(usize) -> u64, key: Key) -> u64 {
+    let cnt = (word(0) as usize).min(MAX_KEYS);
+    let (mut lo, mut hi) = (0usize, cnt);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if key <= word(1 + mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    word(1 + MAX_KEYS + lo)
+}
+
+/// Copies a node into frame-word layout with plain acquire loads. Only a
+/// consistent copy may be used or published — callers bracket this with
+/// an [`OptimisticGate`] read window.
+fn snapshot_node(inner: &Inner) -> [u64; FRAME_WORDS] {
+    let mut w = [0u64; FRAME_WORDS];
+    w[0] = inner.count.load_direct();
+    for (dst, src) in w[1..=MAX_KEYS].iter_mut().zip(inner.keys.iter()) {
+        *dst = src.load_direct();
+    }
+    for (dst, src) in w[1 + MAX_KEYS..].iter_mut().zip(inner.children.iter()) {
+        *dst = src.load_direct();
+    }
+    w
+}
+
 /// The shared internal-node index: a map from keys to persistent leaf
 /// offsets. See the module docs for structure and invariants.
 pub struct InnerIndex {
@@ -81,7 +120,41 @@ pub struct InnerIndex {
     /// each other's descent path through a process-global. It only affects
     /// the quiescent sequential traversal.
     legacy_seq: AtomicBool,
+    /// Optional DRAM page cache over the inner nodes; when attached,
+    /// [`InnerIndex::traverse_cached`] serves descents from cached frames
+    /// with optimistic version validation instead of running the whole
+    /// walk inside the software TM.
+    cache: OnceLock<Arc<PageCache>>,
+    /// Writer-presence seqlock bracketing every structure modification, so
+    /// cache fills and direct reads can validate that their
+    /// non-transactional snapshot of a node was not torn by a concurrent
+    /// `tree_update`/`replace_child`/`bulk_build`.
+    gate: OptimisticGate,
+    /// Cached descents that restarted from the root (version or gate
+    /// validation failed mid-walk).
+    descent_restarts: AtomicU64,
+    /// Cached descents that exhausted their restart budget and fell back
+    /// to the transactional walk.
+    descent_tm_fallbacks: AtomicU64,
 }
+
+/// Restart taxonomy of [`InnerIndex::traverse_cached`]: how often the
+/// optimistic walk had to start over, and how often it gave up and used
+/// the transactional descent. (Per-frame validation failures are counted
+/// by the cache itself as `read_restarts`.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DescentStats {
+    /// Full from-the-root restarts of the optimistic descent.
+    pub restarts: u64,
+    /// Descents that fell back to [`InnerIndex::traverse_tm`].
+    pub tm_fallbacks: u64,
+}
+
+/// Full-descent restart budget before falling back to the TM walk. Each
+/// restart re-reads the root, so contention with a burst of splits
+/// resolves in a handful of iterations; the fallback is for pathological
+/// writer storms.
+const MAX_DESCENT_RESTARTS: usize = 8;
 
 // SAFETY: the registry's raw pointers are only dereferenced through the
 // transactional protocol (valid for the index lifetime) and freed with
@@ -99,6 +172,30 @@ impl InnerIndex {
             domain: HtmDomain::new(),
             registry: Mutex::new(Vec::new()),
             legacy_seq: AtomicBool::new(false),
+            cache: OnceLock::new(),
+            gate: OptimisticGate::new(),
+            descent_restarts: AtomicU64::new(0),
+            descent_tm_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a DRAM page cache; [`InnerIndex::traverse_cached`] uses it
+    /// from then on. One-shot: a second attach is ignored (the cache is
+    /// wired at tree construction, before any concurrent use).
+    pub fn attach_cache(&self, cache: Arc<PageCache>) {
+        let _ = self.cache.set(cache);
+    }
+
+    /// The attached page cache, if any.
+    pub fn page_cache(&self) -> Option<&Arc<PageCache>> {
+        self.cache.get()
+    }
+
+    /// Restart counters of the cached descent.
+    pub fn descent_stats(&self) -> DescentStats {
+        DescentStats {
+            restarts: self.descent_restarts.load(Ordering::Relaxed),
+            tm_fallbacks: self.descent_tm_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -179,6 +276,105 @@ impl InnerIndex {
         self.domain.atomic(|txn| self.traverse_in(txn, key))
     }
 
+    /// Optimistic descent over the DRAM page cache: each inner level is
+    /// resolved from a version-validated cached frame (or a gate-validated
+    /// direct read on a miss), and the software TM is entered only by the
+    /// caller at the leaf. Falls back to [`InnerIndex::traverse_tm`] when
+    /// no cache is attached or the restart budget is exhausted.
+    ///
+    /// ## Why a torn or stale inner read cannot reach a wrong leaf
+    ///
+    /// Every child value this walk acts on comes from a **validated
+    /// snapshot**: cache hits re-check the frame's PageState version after
+    /// the payload reads, and fills/direct reads re-check the index's
+    /// [`OptimisticGate`] (no structure modification overlapped the copy).
+    /// A validated snapshot is some *consistent past state* of the node,
+    /// so the child is a reference that node really held: inner nodes are
+    /// never freed while the index lives (registry + Drop), so it is
+    /// dereferenceable, and nodes never change level, so the walk strictly
+    /// descends and terminates. The snapshot may still be *stale* —
+    /// routing as of before a concurrent split — in which case the walk
+    /// lands on the split's left leaf; callers already handle that: every
+    /// tree operation re-checks the leaf's fence key under its own leaf
+    /// transaction and hops/retries, exactly as they must for the plain
+    /// transactional descent racing a split that commits between the
+    /// traverse and the leaf access.
+    pub fn traverse_cached(&self, key: Key) -> u64 {
+        let Some(cache) = self.cache.get() else {
+            return self.traverse_tm(key);
+        };
+        'restart: for attempt in 0..MAX_DESCENT_RESTARTS {
+            if attempt > 0 {
+                self.descent_restarts.fetch_add(1, Ordering::Relaxed);
+            }
+            // Either the old or the new root is a valid entry point (root
+            // growth installs a fully-built node before swinging the word),
+            // so a plain acquire load suffices here.
+            let mut node_ref = self.root.load_direct();
+            while !is_leaf_ref(node_ref) {
+                match self.cached_child(cache, node_ref, key) {
+                    Some(child) => {
+                        node_ref = child;
+                        if !is_leaf_ref(node_ref) {
+                            prefetch_node(node_ref as *const Inner);
+                        }
+                    }
+                    None => continue 'restart,
+                }
+            }
+            return crate::leaf_off(node_ref);
+        }
+        self.descent_tm_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.traverse_tm(key)
+    }
+
+    /// Resolves one descent step through the cache: hit → route from the
+    /// validated frame; miss → fill a frame from a gate-validated node
+    /// snapshot (serving the step from the same snapshot); no frame
+    /// available → gate-validated direct read. `None` means validation
+    /// failed somewhere and the descent must restart from the root.
+    fn cached_child(&self, cache: &PageCache, node_ref: u64, key: Key) -> Option<u64> {
+        if let Some(child) = cache.optimistic_read(node_ref, |v: &FrameView<'_>| route_words(|i| v.word(i), key)) {
+            return Some(child);
+        }
+        let inner = self.deref(node_ref);
+        if let Some(guard) = cache.begin_fill(node_ref) {
+            // The guard has already published the tag (SeqCst); only now is
+            // the gate token taken. An invalidator that misses our tag in
+            // its scan therefore retired *before* the token was read, and
+            // the snapshot below sees its modification — a stale image can
+            // never be committed past an invalidation (see nvm::cache docs).
+            let Some(token) = self.gate.begin_read() else {
+                guard.abandon();
+                return None;
+            };
+            let words = snapshot_node(inner);
+            if self.gate.validate(token) {
+                let child = route_words(|i| words[i], key);
+                guard.commit(&words);
+                return Some(child);
+            }
+            guard.abandon();
+            return None;
+        }
+        // Cache full of busy frames: read the authoritative node directly
+        // under the gate. Cheaper than a TM descent and keeps the miss
+        // path non-blocking.
+        let token = self.gate.begin_read()?;
+        let cnt = (inner.count.load_direct() as usize).min(MAX_KEYS);
+        let (mut lo, mut hi) = (0usize, cnt);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if key <= inner.keys[mid].load_direct() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let child = inner.children[lo].load_direct();
+        self.gate.validate(token).then_some(child)
+    }
+
     /// Sequential traversal for quiescent phases (single-threaded
     /// benchmarks, recovery verification). Must not run concurrently with
     /// transactional structure updates.
@@ -238,10 +434,27 @@ impl InnerIndex {
     /// (left) leaf; `new_child` (a leaf reference) covers keys `> sep` up to
     /// the old leaf's previous upper bound.
     pub fn tree_update(&self, sep: Key, new_child: u64) {
-        self.domain.atomic(|txn| self.tree_update_in(txn, sep, new_child));
+        self.gate.writer_enter();
+        let touched = self.domain.atomic(|txn| self.tree_update_in(txn, sep, new_child));
+        self.gate.writer_exit();
+        // Invalidate after the writer bracket closes: the scan's SeqCst tag
+        // loads then see (or provably post-date) every in-flight fill, so
+        // no stale frame survives (nvm::cache module docs).
+        if let Some(cache) = self.cache.get() {
+            for node_ref in touched {
+                cache.invalidate(node_ref);
+            }
+        }
     }
 
-    fn tree_update_in<'t>(&'t self, txn: &mut Txn<'t>, sep: Key, new_child: u64) -> TxResult<()> {
+    /// Transactional body of [`InnerIndex::tree_update`]. Returns the
+    /// references of pre-existing inner nodes it rewrote in place, for
+    /// cache invalidation; nodes freshly allocated inside the transaction
+    /// (split right halves, grown roots) cannot be cached yet and are
+    /// omitted. The vector is rebuilt on every abort/retry, so it reflects
+    /// exactly the committed execution.
+    fn tree_update_in<'t>(&'t self, txn: &mut Txn<'t>, sep: Key, new_child: u64) -> TxResult<Vec<u64>> {
+        let mut touched: Vec<u64> = Vec::with_capacity(4);
         // Descend to the leaf covering `sep`, recording the path.
         let mut path: Vec<(&'t Inner, usize)> = Vec::with_capacity(8);
         let mut node_ref = txn.read(&self.root)?;
@@ -267,7 +480,7 @@ impl InnerIndex {
                 nr.children[0].store_seq(old_root);
                 nr.children[1].store_seq(pending_child);
                 txn.write(&self.root, new_root as u64)?;
-                return Ok(());
+                return Ok(touched);
             };
             let cnt = (txn.read(&inner.count)? as usize).min(MAX_KEYS);
             if cnt < MAX_KEYS {
@@ -284,7 +497,8 @@ impl InnerIndex {
                 txn.write(&inner.keys[idx], pending_key)?;
                 txn.write(&inner.children[idx + 1], pending_child)?;
                 txn.write(&inner.count, (cnt + 1) as u64)?;
-                return Ok(());
+                touched.push(inner as *const Inner as u64);
+                return Ok(touched);
             }
 
             // Full inner node: split it. Left keeps keys[0..mid] and
@@ -303,6 +517,7 @@ impl InnerIndex {
             }
             right.count.store_seq(right_cnt as u64);
             txn.write(&inner.count, mid as u64)?;
+            touched.push(inner as *const Inner as u64);
 
             // Now insert the pending entry into the proper half. The fresh
             // right half is private until this transaction commits, so it
@@ -343,7 +558,8 @@ impl InnerIndex {
     /// (leaf compaction). Returns false if the current child is not
     /// `old_child` (someone else restructured first).
     pub fn replace_child(&self, key: Key, old_child: u64, new_child: u64) -> bool {
-        self.domain.atomic(|txn| {
+        self.gate.writer_enter();
+        let swapped_in = self.domain.atomic(|txn| {
             let mut parent: Option<(&Inner, usize)> = None;
             let mut node_ref = txn.read(&self.root)?;
             while !is_leaf_ref(node_ref) {
@@ -353,14 +569,29 @@ impl InnerIndex {
                 node_ref = txn.read(&inner.children[idx])?;
             }
             if node_ref != old_child {
-                return Ok(false);
+                return Ok(None);
             }
             match parent {
-                Some((inner, idx)) => txn.write(&inner.children[idx], new_child)?,
-                None => txn.write(&self.root, new_child)?,
+                Some((inner, idx)) => {
+                    txn.write(&inner.children[idx], new_child)?;
+                    Ok(Some(Some(inner as *const Inner as u64)))
+                }
+                None => {
+                    txn.write(&self.root, new_child)?;
+                    Ok(Some(None))
+                }
             }
-            Ok(true)
-        })
+        });
+        self.gate.writer_exit();
+        match swapped_in {
+            Some(parent_ref) => {
+                if let (Some(cache), Some(node_ref)) = (self.cache.get(), parent_ref) {
+                    cache.invalidate(node_ref);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Rebuilds the internal levels bottom-up from `(max_key, leaf_ref)`
@@ -369,6 +600,16 @@ impl InnerIndex {
     /// Old inner nodes stay in the registry (freed on drop); the root is
     /// swapped atomically at the end so late readers see a coherent tree.
     pub fn bulk_build(&self, leaves: &[(Key, u64)]) {
+        self.gate.writer_enter();
+        self.bulk_build_inner(leaves);
+        self.gate.writer_exit();
+        // Bulk rebuilds orphan every previously-cached node; flush them all.
+        if let Some(cache) = self.cache.get() {
+            cache.invalidate_all();
+        }
+    }
+
+    fn bulk_build_inner(&self, leaves: &[(Key, u64)]) {
         assert!(!leaves.is_empty(), "bulk_build needs at least one leaf");
         debug_assert!(leaves.windows(2).all(|w| w[0].0 < w[1].0), "leaves must be sorted");
         let mut level: Vec<(Key, u64)> = leaves.to_vec();
@@ -541,6 +782,117 @@ mod tests {
                 assert_eq!(idx.traverse_tm(i * 10), i * 1000, "n={n} key={}", i * 10);
                 assert_eq!(idx.traverse_tm(i * 10 - 9), i * 1000);
             }
+        }
+    }
+
+    #[test]
+    fn traverse_cached_without_cache_is_traverse_tm() {
+        let idx = build(50);
+        for key in [1u64, 123, 400, 999] {
+            assert_eq!(idx.traverse_cached(key), idx.traverse_tm(key));
+        }
+        assert_eq!(idx.descent_stats(), DescentStats::default());
+    }
+
+    #[test]
+    fn cached_traversal_matches_tm_and_hits_on_reread() {
+        let idx = build(100);
+        idx.attach_cache(Arc::new(PageCache::new(256, None)));
+        for pass in 0..2 {
+            for key in (1..=1000u64).step_by(7) {
+                let expect = 1000 * key.div_ceil(10).clamp(1, 100);
+                assert_eq!(idx.traverse_cached(key), expect, "pass {pass} key {key}");
+            }
+        }
+        let stats = idx.page_cache().unwrap().stats();
+        assert!(stats.fills > 0, "{stats:?}");
+        assert!(stats.hits > stats.misses, "cache never warmed: {stats:?}");
+    }
+
+    #[test]
+    fn cached_traversal_sees_splits_immediately() {
+        let idx = InnerIndex::new(leaf_ref(1000));
+        idx.attach_cache(Arc::new(PageCache::new(64, None)));
+        // Warm whatever there is to warm, then split repeatedly; each
+        // tree_update invalidates the rewritten nodes, so the cached
+        // descent must route per the newest structure every time.
+        for i in (1..200u64).rev() {
+            idx.tree_update(i * 10, leaf_ref((i + 1) * 1000));
+            // Mid-loop, keys ≤ sep still live in the unsplit left leaf
+            // (offset 1000); the new right leaf takes keys > sep.
+            let boundary = i * 10;
+            assert_eq!(idx.traverse_cached(boundary), 1000, "sep {boundary}");
+            assert_eq!(idx.traverse_cached(boundary + 1), (i + 1) * 1000);
+        }
+        for key in 1..=2000u64 {
+            let expect = 1000 * key.div_ceil(10).clamp(1, 200);
+            assert_eq!(idx.traverse_cached(key), expect, "key {key}");
+        }
+        let stats = idx.page_cache().unwrap().stats();
+        assert!(stats.invalidations > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn replace_child_invalidates_cached_parent() {
+        let idx = build(10);
+        idx.attach_cache(Arc::new(PageCache::new(64, None)));
+        // Warm the cache on the old routing.
+        assert_eq!(idx.traverse_cached(35), 4000);
+        assert!(idx.replace_child(35, leaf_ref(4000), leaf_ref(9_990_000)));
+        assert_eq!(idx.traverse_cached(35), 9_990_000);
+        // Failed swap leaves cache and routing untouched.
+        assert!(!idx.replace_child(35, leaf_ref(4000), leaf_ref(123)));
+        assert_eq!(idx.traverse_cached(35), 9_990_000);
+    }
+
+    #[test]
+    fn bulk_build_flushes_cache() {
+        let idx = build(20);
+        idx.attach_cache(Arc::new(PageCache::new(64, None)));
+        for key in (1..=200u64).step_by(3) {
+            idx.traverse_cached(key);
+        }
+        // Rebuild over different offsets: cached routing must not survive.
+        let leaves: Vec<(Key, u64)> = (1..=20u64).map(|i| (i * 10, leaf_ref(i * 1000 + 77))).collect();
+        idx.bulk_build(&leaves);
+        for i in 1..=20u64 {
+            assert_eq!(idx.traverse_cached(i * 10), i * 1000 + 77, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_cached_traversals_during_updates_route_validly() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let idx = Arc::new(InnerIndex::new(leaf_ref(1000)));
+        // Tiny cache: eviction, refill and invalidation all race the
+        // readers below.
+        idx.attach_cache(Arc::new(PageCache::new(8, None)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for t in 0..2 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut x = 9876u64 + t;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = x % 2000;
+                    let off = idx.traverse_cached(key);
+                    assert_eq!(off % 1000, 0);
+                    assert!(off >= 1000);
+                }
+            }));
+        }
+        for i in (1..200u64).rev() {
+            idx.tree_update(i * 10, leaf_ref((i + 1) * 1000));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        for key in 1..=2000u64 {
+            let expect = 1000 * key.div_ceil(10).clamp(1, 200);
+            assert_eq!(idx.traverse_cached(key), expect);
         }
     }
 }

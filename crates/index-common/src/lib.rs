@@ -26,7 +26,7 @@ mod instrument;
 mod sharded;
 mod traits;
 
-pub use inner::{InnerIndex, INNER_FANOUT};
+pub use inner::{DescentStats, InnerIndex, INNER_FANOUT};
 pub use instrument::Instrumented;
 pub use sharded::{shard_of, ShardedIndex};
 pub use traits::{OpError, PersistentIndex, RecoverableIndex, TreeStats};

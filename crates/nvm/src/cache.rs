@@ -1,0 +1,784 @@
+//! Bounded DRAM page cache over the NVM capacity tier.
+//!
+//! The paper's testbed reads inner nodes straight from NVM on every
+//! descent; real systems front the capacity tier with a DRAM cache.
+//! This module is that tier, shaped after LeanStore's *vmcache*: each
+//! frame carries one atomic **PageState** word packing a 56-bit version
+//! and an 8-bit state, and every protocol — optimistic read, exclusive
+//! fill, clock eviction, invalidation — is a single-word CAS dance on
+//! that atom.
+//!
+//! ```text
+//!   63      56 55                                         0
+//!   +--------+-------------------------------------------+
+//!   | state  |                 version                   |
+//!   +--------+-------------------------------------------+
+//!   state: 0 = Unlocked (readable)   253 = Locked (filler inside)
+//!          254 = Marked (clock hand passed; still readable)
+//!          255 = Evicted (empty / dropped)
+//! ```
+//!
+//! The version is bumped by **every** transition out of `Locked` and by
+//! every invalidation, so an optimistic reader that re-reads the word
+//! and sees the same value knows the frame payload was untouched for
+//! the whole window (56 bits cannot wrap in any realistic run, so ABA
+//! is off the table).
+//!
+//! ## Protocols
+//!
+//! * **Optimistic read** ([`PageCache::optimistic_read`]): locate a
+//!   readable frame whose tag matches, snapshot `sv`, read the payload
+//!   with relaxed loads, fence, re-read `sv`; equal ⇒ the closure saw a
+//!   consistent payload. This is the Boehm seqlock-reader recipe — the
+//!   filler's release ordering on its final `sv` store pairs with the
+//!   reader's acquire fence.
+//! * **Fill** ([`PageCache::begin_fill`]): claim a frame exclusively
+//!   (`CAS` to `Locked`), *publish the tag with a `SeqCst` store before
+//!   returning*, then let the caller copy the node words and
+//!   [`commit`](FillGuard::commit) (or [`abandon`](FillGuard::abandon)).
+//!   The early `SeqCst` tag publish is load-bearing: an invalidator
+//!   scanning after its structure modification either sees the tag (and
+//!   waits out the `Locked` frame, then evicts whatever was committed)
+//!   or, by the `SeqCst` total order, the filler's snapshot provably
+//!   began after the modification retired — so a stale fill can never
+//!   survive an invalidation. See `index-common`'s descent for the full
+//!   argument.
+//! * **Eviction**: per-set second-chance clock. The hand downgrades
+//!   `Unlocked → Marked`; a frame still `Marked` when the hand returns
+//!   is claimed (`Marked → Locked`) and refilled. Hits promote
+//!   `Marked → Unlocked`, giving hot frames their second chance.
+//! * **Invalidation** ([`PageCache::invalidate`]): drop every frame
+//!   holding a tag by CASing it to `Evicted` with a bumped version;
+//!   concurrent optimistic readers of the old payload fail validation.
+//!
+//! The cache is purely transient DRAM: recovery constructs a fresh empty
+//! cache and never writes a byte of it to the pool, so the tree's
+//! persistent-instruction counts are untouched by anything here.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use obs::{EventKind, EventRing};
+
+/// Associativity: frames per set. Four ways keeps the fill-time victim
+/// search and the invalidation scan at a handful of loads.
+pub const CACHE_WAYS: usize = 4;
+
+/// Payload words per frame — sized for one inner node (count word +
+/// 31 keys + 32 children = 64 words = 512 B, one node exactly).
+pub const FRAME_WORDS: usize = 64;
+
+/// PageState states, packed into the top 8 bits of the state-version
+/// word (values follow the vmcache convention).
+const ST_UNLOCKED: u64 = 0;
+const ST_LOCKED: u64 = 253;
+const ST_MARKED: u64 = 254;
+const ST_EVICTED: u64 = 255;
+
+const VERSION_BITS: u32 = 56;
+const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
+
+#[inline]
+const fn pack(state: u64, version: u64) -> u64 {
+    (state << VERSION_BITS) | (version & VERSION_MASK)
+}
+
+#[inline]
+const fn state_of(sv: u64) -> u64 {
+    sv >> VERSION_BITS
+}
+
+#[inline]
+const fn version_of(sv: u64) -> u64 {
+    sv & VERSION_MASK
+}
+
+/// Readable = a reader may snapshot the payload under version checks.
+#[inline]
+const fn readable(sv: u64) -> bool {
+    state_of(sv) == ST_UNLOCKED || state_of(sv) == ST_MARKED
+}
+
+/// One cache frame: PageState word, node tag, payload.
+struct Frame {
+    /// Packed state + version (see module docs).
+    sv: AtomicU64,
+    /// Which node this frame caches (an inner-index node reference);
+    /// meaningful whenever the state is not freshly `Evicted`-at-init.
+    tag: AtomicU64,
+    /// The cached node image.
+    payload: [AtomicU64; FRAME_WORDS],
+}
+
+impl Frame {
+    fn empty() -> Frame {
+        Frame {
+            sv: AtomicU64::new(pack(ST_EVICTED, 0)),
+            tag: AtomicU64::new(0),
+            payload: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A validated-snapshot view of a frame's payload, handed to the
+/// closure of [`PageCache::optimistic_read`]. Loads are relaxed; the
+/// surrounding version check makes the whole snapshot consistent (or
+/// the closure's result is discarded).
+pub struct FrameView<'a> {
+    frame: &'a Frame,
+}
+
+impl FrameView<'_> {
+    /// Reads payload word `i` (relaxed; see type docs).
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.frame.payload[i].load(Ordering::Relaxed)
+    }
+}
+
+/// Exclusive claim on a frame being (re)filled. Either
+/// [`commit`](FillGuard::commit) a full payload image or
+/// [`abandon`](FillGuard::abandon); dropping the guard abandons.
+pub struct FillGuard<'a> {
+    cache: &'a PageCache,
+    frame: &'a Frame,
+    /// Version the frame was claimed at; the release transition
+    /// publishes `version + 1`.
+    version: u64,
+    done: bool,
+}
+
+impl FillGuard<'_> {
+    /// Publishes `words` as the frame's payload and makes the frame
+    /// readable. The release store on the state word pairs with
+    /// readers' acquire fences (seqlock writer side).
+    pub fn commit(mut self, words: &[u64; FRAME_WORDS]) {
+        fence(Ordering::Release);
+        for (slot, &w) in self.frame.payload.iter().zip(words.iter()) {
+            slot.store(w, Ordering::Relaxed);
+        }
+        let next = pack(ST_UNLOCKED, version_of(self.version).wrapping_add(1) & VERSION_MASK);
+        self.frame.sv.store(next, Ordering::Release);
+        self.cache.fills.fetch_add(1, Ordering::Relaxed);
+        self.done = true;
+    }
+
+    /// Releases the claim without publishing anything; the frame goes
+    /// back to `Evicted` with a bumped version (any concurrent
+    /// optimistic reader of the old payload fails validation).
+    pub fn abandon(mut self) {
+        self.release_evicted();
+        self.done = true;
+    }
+
+    fn release_evicted(&self) {
+        let next = pack(ST_EVICTED, version_of(self.version).wrapping_add(1) & VERSION_MASK);
+        self.frame.sv.store(next, Ordering::Release);
+    }
+}
+
+impl Drop for FillGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.release_evicted();
+        }
+    }
+}
+
+/// Point-in-time cache counter snapshot (all counts monotonic since
+/// construction). Obtain via [`PageCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Optimistic reads that validated against a cached frame.
+    pub hits: u64,
+    /// Reads that found no readable matching frame.
+    pub misses: u64,
+    /// Frames filled (initial fills and refills after eviction).
+    pub fills: u64,
+    /// Frames reclaimed by the clock hand to make room.
+    pub evictions: u64,
+    /// Frames dropped by structure-modification invalidation.
+    pub invalidations: u64,
+    /// Optimistic reads that found a matching frame but failed version
+    /// validation (concurrent fill/eviction/invalidation).
+    pub read_restarts: u64,
+}
+
+impl CacheStats {
+    /// Counter-wise difference `self - earlier` (both from the same
+    /// cache, `earlier` taken first).
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            fills: self.fills - earlier.fills,
+            evictions: self.evictions - earlier.evictions,
+            invalidations: self.invalidations - earlier.invalidations,
+            read_restarts: self.read_restarts - earlier.read_restarts,
+        }
+    }
+
+    /// Hits over (hits + misses), 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Set-associative bounded DRAM page cache; see module docs for the
+/// PageState protocols.
+pub struct PageCache {
+    frames: Box<[Frame]>,
+    /// Number of sets (power of two); frame index = set * WAYS + way.
+    sets: usize,
+    /// Per-set clock hands for second-chance eviction.
+    hands: Box<[AtomicUsize]>,
+    /// Eviction/invalidation forensics sink (usually the pool's ring).
+    events: Option<Arc<EventRing>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fills: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    read_restarts: AtomicU64,
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("frames", &self.frames.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PageCache {
+    /// Creates an empty cache of at most `frame_budget` frames (rounded
+    /// down to a power-of-two number of [`CACHE_WAYS`]-frame sets, with
+    /// a one-set floor), optionally wired to an event ring for
+    /// eviction/invalidation forensics.
+    pub fn new(frame_budget: usize, events: Option<Arc<EventRing>>) -> PageCache {
+        let want_sets = (frame_budget / CACHE_WAYS).max(1);
+        // Round *down* to a power of two so the budget is an upper bound.
+        let sets = 1usize << (usize::BITS - 1 - want_sets.leading_zeros());
+        let frames: Box<[Frame]> = (0..sets * CACHE_WAYS).map(|_| Frame::empty()).collect();
+        let hands: Box<[AtomicUsize]> = (0..sets).map(|_| AtomicUsize::new(0)).collect();
+        PageCache {
+            frames,
+            sets,
+            hands,
+            events,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            read_restarts: AtomicU64::new(0),
+        }
+    }
+
+    /// Actual frame capacity after rounding.
+    pub fn frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            read_restarts: self.read_restarts.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, tag: u64) -> usize {
+        // splitmix64 finaliser: node refs are aligned (low bits dead),
+        // so mix before masking.
+        let mut x = tag;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn set_frames(&self, set: usize) -> &[Frame] {
+        &self.frames[set * CACHE_WAYS..(set + 1) * CACHE_WAYS]
+    }
+
+    /// Optimistic seqlock read of the cached image of `tag`. The
+    /// closure runs against a possibly-torn payload; its result is
+    /// returned only if the frame's version validates, i.e. the payload
+    /// was stable for the whole window. `None` = miss or validation
+    /// failure (caller falls back to the authoritative copy).
+    pub fn optimistic_read<T>(&self, tag: u64, read: impl FnOnce(&FrameView<'_>) -> T) -> Option<T> {
+        let set = self.set_of(tag);
+        for frame in self.set_frames(set) {
+            let sv1 = frame.sv.load(Ordering::Acquire);
+            if !readable(sv1) || frame.tag.load(Ordering::Relaxed) != tag {
+                continue;
+            }
+            let out = read(&FrameView { frame });
+            fence(Ordering::Acquire);
+            let sv2 = frame.sv.load(Ordering::Relaxed);
+            if sv2 != sv1 {
+                self.read_restarts.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            // Second chance: a hit on a Marked frame un-marks it (best
+            // effort; losing the CAS means someone else resolved it).
+            if state_of(sv1) == ST_MARKED {
+                let _ = frame.sv.compare_exchange(
+                    sv1,
+                    pack(ST_UNLOCKED, version_of(sv1)),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(out);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Claims a frame for filling `tag`, publishing the tag (with
+    /// `SeqCst`, see module docs) before returning. `None` when the tag
+    /// is already cached or being filled, or when every candidate
+    /// victim is busy — callers then read the authoritative copy
+    /// directly; they must never block on the cache.
+    pub fn begin_fill(&self, tag: u64) -> Option<FillGuard<'_>> {
+        let set = self.set_of(tag);
+        let frames = self.set_frames(set);
+
+        // Pass 1: tag already present? Reclaim its Evicted frame (keeps
+        // duplicates rare) or back off if readable/being-filled.
+        for frame in frames {
+            if frame.tag.load(Ordering::SeqCst) != tag {
+                continue;
+            }
+            let sv = frame.sv.load(Ordering::Acquire);
+            match state_of(sv) {
+                ST_EVICTED => {
+                    if self
+                        .claim(frame, sv)
+                        .is_some()
+                    {
+                        // Tag unchanged, but re-store SeqCst so the
+                        // claim is ordered like a fresh publish.
+                        frame.tag.store(tag, Ordering::SeqCst);
+                        return Some(FillGuard {
+                            cache: self,
+                            frame,
+                            version: sv,
+                            done: false,
+                        });
+                    }
+                }
+                _ => return None, // readable (someone filled) or being filled
+            }
+        }
+
+        // Pass 2: any empty frame.
+        for frame in frames {
+            let sv = frame.sv.load(Ordering::Acquire);
+            if state_of(sv) == ST_EVICTED && self.claim(frame, sv).is_some() {
+                frame.tag.store(tag, Ordering::SeqCst);
+                return Some(FillGuard {
+                    cache: self,
+                    frame,
+                    version: sv,
+                    done: false,
+                });
+            }
+        }
+
+        // Pass 3: second-chance clock, bounded to two sweeps.
+        let hand = &self.hands[set];
+        for _ in 0..2 * CACHE_WAYS {
+            let way = hand.fetch_add(1, Ordering::Relaxed) % CACHE_WAYS;
+            let frame = &frames[way];
+            let sv = frame.sv.load(Ordering::Acquire);
+            match state_of(sv) {
+                ST_UNLOCKED => {
+                    // First pass of the hand: mark, don't evict.
+                    let _ = frame.sv.compare_exchange(
+                        sv,
+                        pack(ST_MARKED, version_of(sv)),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                }
+                ST_MARKED if self.claim(frame, sv).is_some() => {
+                    let old_tag = frame.tag.load(Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(ev) = &self.events {
+                        ev.record(EventKind::CacheEvict, old_tag, version_of(sv));
+                    }
+                    frame.tag.store(tag, Ordering::SeqCst);
+                    return Some(FillGuard {
+                        cache: self,
+                        frame,
+                        version: sv,
+                        done: false,
+                    });
+                }
+                _ => {} // Locked, claim-raced, or Evicted-raced: skip
+            }
+        }
+        None
+    }
+
+    /// CAS `sv → Locked` at the same version. `Some(())` on success.
+    #[inline]
+    fn claim(&self, frame: &Frame, sv: u64) -> Option<()> {
+        frame
+            .sv
+            .compare_exchange(
+                sv,
+                pack(ST_LOCKED, version_of(sv)),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .ok()
+            .map(|_| ())
+    }
+
+    /// Drops every cached copy of `tag` (all ways — concurrent fills can
+    /// briefly duplicate a tag). Spins out `Locked` frames holding the
+    /// tag: fillers hold the lock only across a 64-word copy, and an
+    /// in-flight filler may be about to commit a *stale* image, so the
+    /// invalidator must outlast it. Returns frames dropped.
+    pub fn invalidate(&self, tag: u64) -> usize {
+        let set = self.set_of(tag);
+        let mut dropped = 0;
+        for frame in self.set_frames(set) {
+            loop {
+                if frame.tag.load(Ordering::SeqCst) != tag {
+                    break;
+                }
+                let sv = frame.sv.load(Ordering::Acquire);
+                match state_of(sv) {
+                    ST_EVICTED => break,
+                    ST_LOCKED => std::hint::spin_loop(), // filler resolves in O(64 stores)
+                    _ => {
+                        if frame
+                            .sv
+                            .compare_exchange(
+                                sv,
+                                pack(ST_EVICTED, version_of(sv).wrapping_add(1) & VERSION_MASK),
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            dropped += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+            if let Some(ev) = &self.events {
+                ev.record(EventKind::CacheInvalidate, tag, dropped as u64);
+            }
+        }
+        dropped
+    }
+
+    /// Drops every frame (bulk structure changes). Spins out in-flight
+    /// fillers like [`invalidate`](PageCache::invalidate).
+    pub fn invalidate_all(&self) {
+        let mut dropped = 0u64;
+        for frame in self.frames.iter() {
+            loop {
+                let sv = frame.sv.load(Ordering::Acquire);
+                match state_of(sv) {
+                    ST_EVICTED => break,
+                    ST_LOCKED => std::hint::spin_loop(),
+                    _ => {
+                        if frame
+                            .sv
+                            .compare_exchange(
+                                sv,
+                                pack(ST_EVICTED, version_of(sv).wrapping_add(1) & VERSION_MASK),
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            dropped += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        if let Some(ev) = &self.events {
+            ev.record(EventKind::CacheInvalidate, 0, dropped);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(cache: &PageCache, tag: u64, base: u64) -> bool {
+        match cache.begin_fill(tag) {
+            Some(guard) => {
+                let words: [u64; FRAME_WORDS] = std::array::from_fn(|i| base + i as u64);
+                guard.commit(&words);
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[test]
+    fn packing_roundtrips() {
+        for st in [ST_UNLOCKED, ST_LOCKED, ST_MARKED, ST_EVICTED] {
+            for v in [0u64, 1, VERSION_MASK, 0xDEAD_BEEF] {
+                let sv = pack(st, v);
+                assert_eq!(state_of(sv), st);
+                assert_eq!(version_of(sv), v & VERSION_MASK);
+            }
+        }
+        assert!(readable(pack(ST_UNLOCKED, 7)));
+        assert!(readable(pack(ST_MARKED, 7)));
+        assert!(!readable(pack(ST_LOCKED, 7)));
+        assert!(!readable(pack(ST_EVICTED, 7)));
+    }
+
+    #[test]
+    fn budget_rounds_down_to_power_of_two_sets() {
+        assert_eq!(PageCache::new(1024, None).frames(), 1024);
+        assert_eq!(PageCache::new(1000, None).frames(), 512);
+        assert_eq!(PageCache::new(32, None).frames(), 32);
+        assert_eq!(PageCache::new(0, None).frames(), CACHE_WAYS);
+        assert_eq!(PageCache::new(5, None).frames(), CACHE_WAYS);
+    }
+
+    #[test]
+    fn fill_then_read_roundtrips() {
+        let cache = PageCache::new(64, None);
+        assert!(cache.optimistic_read(42, |_| ()).is_none(), "cold miss");
+        assert!(fill(&cache, 42, 1000));
+        let got = cache
+            .optimistic_read(42, |v| (v.word(0), v.word(63)))
+            .expect("hit after fill");
+        assert_eq!(got, (1000, 1063));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.fills), (1, 1, 1));
+    }
+
+    #[test]
+    fn refill_of_cached_tag_backs_off() {
+        let cache = PageCache::new(64, None);
+        assert!(fill(&cache, 7, 0));
+        assert!(cache.begin_fill(7).is_none(), "tag already readable");
+    }
+
+    #[test]
+    fn abandon_leaves_frame_empty_and_bumps_version() {
+        let cache = PageCache::new(64, None);
+        let guard = cache.begin_fill(9).unwrap();
+        guard.abandon();
+        assert!(cache.optimistic_read(9, |_| ()).is_none());
+        // The frame is reusable.
+        assert!(fill(&cache, 9, 5));
+        assert_eq!(cache.optimistic_read(9, |v| v.word(0)), Some(5));
+    }
+
+    #[test]
+    fn dropping_guard_abandons() {
+        let cache = PageCache::new(64, None);
+        drop(cache.begin_fill(9).unwrap());
+        assert!(cache.optimistic_read(9, |_| ()).is_none());
+        assert!(cache.begin_fill(9).is_some(), "frame reclaimable");
+    }
+
+    #[test]
+    fn invalidate_drops_and_fails_readers() {
+        let cache = PageCache::new(64, None);
+        assert!(fill(&cache, 11, 100));
+        assert_eq!(cache.invalidate(11), 1);
+        assert!(cache.optimistic_read(11, |_| ()).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.invalidate(11), 0, "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let cache = PageCache::new(64, None);
+        let mut filled = 0;
+        for t in 1..=40u64 {
+            if fill(&cache, t * 8, t) {
+                filled += 1;
+            }
+        }
+        assert!(filled > 10);
+        cache.invalidate_all();
+        for t in 1..=40u64 {
+            assert!(cache.optimistic_read(t * 8, |_| ()).is_none(), "tag {t}");
+        }
+        // Every successful fill is either still resident (dropped now)
+        // or was recycled by the clock along the way.
+        let s = cache.stats();
+        assert_eq!(s.invalidations + s.evictions, filled);
+    }
+
+    #[test]
+    fn eviction_under_pressure_recycles_frames() {
+        // One set (4 frames), many tags: the clock must evict.
+        let cache = PageCache::new(CACHE_WAYS, None);
+        let mut filled = Vec::new();
+        for t in 1..=64u64 {
+            let tag = t * 16;
+            // The first clock sweep only marks; retry once so pressure
+            // actually evicts.
+            if fill(&cache, tag, t) || fill(&cache, tag, t) {
+                filled.push((tag, t));
+            }
+        }
+        let s = cache.stats();
+        assert!(s.evictions > 0, "no evictions under pressure: {s:?}");
+        assert!(filled.len() > CACHE_WAYS, "fills kept failing");
+        // Whatever is still readable must be consistent.
+        let mut resident = 0;
+        for &(tag, base) in &filled {
+            if let Some((a, b)) = cache.optimistic_read(tag, |v| (v.word(0), v.word(63))) {
+                assert_eq!((a, b), (base, base + 63), "torn survivor for tag {tag}");
+                resident += 1;
+            }
+        }
+        assert!(resident <= CACHE_WAYS);
+    }
+
+    #[test]
+    fn eviction_records_events() {
+        let ring = Arc::new(EventRing::new());
+        let cache = PageCache::new(CACHE_WAYS, Some(Arc::clone(&ring)));
+        for t in 1..=64u64 {
+            let _ = fill(&cache, t * 16, t);
+            let _ = fill(&cache, t * 16, t);
+        }
+        cache.invalidate_all();
+        #[cfg(feature = "record")]
+        {
+            let dump = ring.dump();
+            assert!(
+                dump.iter().any(|e| e.kind == EventKind::CacheEvict),
+                "no evict event"
+            );
+            assert!(
+                dump.iter().any(|e| e.kind == EventKind::CacheInvalidate),
+                "no invalidate event"
+            );
+        }
+    }
+
+    #[test]
+    fn marked_frames_get_second_chance_on_hit() {
+        let cache = PageCache::new(CACHE_WAYS, None);
+        assert!(fill(&cache, 16, 1));
+        // Sweep the hand once: everything Unlocked becomes Marked.
+        // (A fill of a colliding tag that fails on a full set of marked
+        // frames would evict; here the set has empties so the mark pass
+        // is driven directly.)
+        for frame in cache.set_frames(cache.set_of(16)) {
+            let sv = frame.sv.load(Ordering::Acquire);
+            if state_of(sv) == ST_UNLOCKED {
+                frame
+                    .sv
+                    .compare_exchange(
+                        sv,
+                        pack(ST_MARKED, version_of(sv)),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .unwrap();
+            }
+        }
+        // A hit revives the frame to Unlocked.
+        assert_eq!(cache.optimistic_read(16, |v| v.word(0)), Some(1));
+        let set = cache.set_of(16);
+        let revived = cache.set_frames(set).iter().any(|f| {
+            let sv = f.sv.load(Ordering::Acquire);
+            state_of(sv) == ST_UNLOCKED && f.tag.load(Ordering::Relaxed) == 16
+        });
+        assert!(revived, "hit did not un-mark the frame");
+    }
+
+    #[test]
+    fn concurrent_fill_read_invalidate_never_tears() {
+        use std::sync::atomic::AtomicBool;
+        let cache = Arc::new(PageCache::new(16, None));
+        let stop = Arc::new(AtomicBool::new(false));
+        let tags: Vec<u64> = (1..=24u64).map(|t| t * 8).collect();
+
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let (cache, stop, tags) = (cache.clone(), stop.clone(), tags.clone());
+                std::thread::spawn(move || {
+                    let mut i = w;
+                    while !stop.load(Ordering::Relaxed) {
+                        let tag = tags[i % tags.len()];
+                        if let Some(g) = cache.begin_fill(tag) {
+                            // Payload invariant: word[j] = tag * 1000 + j.
+                            let words: [u64; FRAME_WORDS] =
+                                std::array::from_fn(|j| tag * 1000 + j as u64);
+                            g.commit(&words);
+                        }
+                        if i % 7 == 0 {
+                            cache.invalidate(tag);
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let (cache, stop, tags) = (cache.clone(), stop.clone(), tags.clone());
+                std::thread::spawn(move || {
+                    let mut hits = 0u64;
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let tag = tags[i % tags.len()];
+                        if let Some((w0, w63)) =
+                            cache.optimistic_read(tag, |v| (v.word(0), v.word(63)))
+                        {
+                            assert_eq!(w0, tag * 1000, "torn word 0 for tag {tag}");
+                            assert_eq!(w63, tag * 1000 + 63, "torn word 63 for tag {tag}");
+                            hits += 1;
+                        }
+                        i += 1;
+                    }
+                    hits
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let hits: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(hits > 0, "readers never hit");
+    }
+}

@@ -57,6 +57,7 @@
 
 mod alloc;
 mod buffer;
+mod cache;
 mod file;
 mod journal;
 mod latency;
@@ -67,6 +68,7 @@ mod root;
 mod stats;
 
 pub use alloc::BlockAllocator;
+pub use cache::{CacheStats, FillGuard, FrameView, PageCache, CACHE_WAYS, FRAME_WORDS};
 pub use journal::UndoJournal;
 pub use latency::busy_wait_ns;
 pub use pool::{FlushHandle, PmemConfig, PmemPool};

@@ -3,7 +3,7 @@
 //! simulation. See the crate docs for the hardware model.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use obs::{EventKind, EventRing};
 
@@ -90,8 +90,10 @@ pub struct PmemPool {
     /// Crash-forensics event ring. Lives on the pool (not the tree) so the
     /// timeline survives tree teardown/re-creation across crash/recover
     /// cycles; upper layers record splits, rollbacks and recovery steps
-    /// here through [`PmemPool::events`].
-    events: EventRing,
+    /// here through [`PmemPool::events`]. `Arc`-shared so transient DRAM
+    /// components (e.g. the page cache) can keep recording into the same
+    /// timeline without holding the pool itself.
+    events: Arc<EventRing>,
 }
 
 impl PmemPool {
@@ -108,7 +110,7 @@ impl PmemPool {
             cfg,
             evict_rng: Mutex::new(SplitMix64::new(0x5EED_CAFE)),
             persist_trap: AtomicI64::new(0),
-            events: EventRing::new(),
+            events: Arc::new(EventRing::new()),
         }
     }
 
@@ -142,6 +144,14 @@ impl PmemPool {
     #[inline]
     pub fn events(&self) -> &EventRing {
         &self.events
+    }
+
+    /// A shared handle to the event ring, for components whose lifetime is
+    /// not tied to the pool borrow (the DRAM page cache records eviction
+    /// and invalidation events through this).
+    #[inline]
+    pub fn events_handle(&self) -> Arc<EventRing> {
+        Arc::clone(&self.events)
     }
 
     /// The shared persist-trap check: the armed call dies *before*
@@ -706,6 +716,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "record")] // asserts recording, which is compiled out otherwise
     fn trap_and_crash_land_in_the_event_ring() {
         let p = pool();
         p.store_u64(128, 1);

@@ -46,6 +46,13 @@ pub enum EventKind {
     /// Recovery: allocator free-list rebuilt: `a` = blocks in use,
     /// `b` = 0.
     RecoveryAlloc = 9,
+    /// DRAM page cache evicted a frame: `a` = evicted node tag,
+    /// `b` = frame version at eviction.
+    CacheEvict = 11,
+    /// DRAM page cache invalidated cached copies after a structure
+    /// modification: `a` = node tag (0 for a full flush), `b` = frames
+    /// dropped.
+    CacheInvalidate = 12,
     /// Recovery: volatile inner index rebuilt: `a` = leaves indexed,
     /// `b` = 0.
     RecoveryIndex = 10,
@@ -65,6 +72,8 @@ impl EventKind {
             EventKind::RecoveryLeafChain => "recovery_leaf_chain",
             EventKind::RecoveryAlloc => "recovery_alloc",
             EventKind::RecoveryIndex => "recovery_index",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::CacheInvalidate => "cache_invalidate",
         }
     }
 
@@ -80,6 +89,8 @@ impl EventKind {
             8 => EventKind::RecoveryLeafChain,
             9 => EventKind::RecoveryAlloc,
             10 => EventKind::RecoveryIndex,
+            11 => EventKind::CacheEvict,
+            12 => EventKind::CacheInvalidate,
             _ => None?,
         })
     }

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 
 use index_common::{leaf_ref, InnerIndex, Key};
-use nvm::{PmemPool, RootTable};
+use nvm::{PageCache, PmemPool, RootTable};
 use obs::{EventKind, PhaseTimers};
 
 use crate::fingerprint::FpTable;
@@ -49,6 +49,11 @@ impl RnTree {
         let index = InnerIndex::new(leaf_ref(first));
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         index.domain().set_striped_fallback(cfg.striped_fallback);
+        if cfg.cache_frames > 0 {
+            // Always a fresh, empty cache: the DRAM tier is transient and
+            // recovery must never trust (or rebuild from) its contents.
+            index.attach_cache(Arc::new(PageCache::new(cfg.cache_frames, Some(pool.events_handle()))));
+        }
         RnTree {
             pool,
             alloc,
@@ -126,6 +131,11 @@ impl RnTree {
         let index = InnerIndex::new(leaf_ref(leftmost));
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         index.domain().set_striped_fallback(cfg.striped_fallback);
+        if cfg.cache_frames > 0 {
+            // Always a fresh, empty cache: the DRAM tier is transient and
+            // recovery must never trust (or rebuild from) its contents.
+            index.attach_cache(Arc::new(PageCache::new(cfg.cache_frames, Some(pool.events_handle()))));
+        }
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
@@ -186,6 +196,11 @@ impl RnTree {
         let index = InnerIndex::new(leaf_ref(leftmost));
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         index.domain().set_striped_fallback(cfg.striped_fallback);
+        if cfg.cache_frames > 0 {
+            // Always a fresh, empty cache: the DRAM tier is transient and
+            // recovery must never trust (or rebuild from) its contents.
+            index.attach_cache(Arc::new(PageCache::new(cfg.cache_frames, Some(pool.events_handle()))));
+        }
         if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }

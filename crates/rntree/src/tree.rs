@@ -104,6 +104,14 @@ pub struct RnConfig {
     /// restores the PR-4 single global fallback lock (the before side of
     /// `repro contention-scale`).
     pub striped_fallback: bool,
+    /// Frame budget of the DRAM page cache over the inner index (each
+    /// frame caches one inner node, 512 B of payload). With a cache
+    /// attached, the concurrent descent walks version-validated cached
+    /// frames and enters the HTM machinery only at the leaf; `0` disables
+    /// the cache and restores the all-transactional descent (the before
+    /// side of `repro cache-scale`). The cache is transient DRAM: crashes
+    /// ignore it and recovery starts cold.
+    pub cache_frames: usize,
 }
 
 impl Default for RnConfig {
@@ -117,7 +125,24 @@ impl Default for RnConfig {
             async_flush: true,
             legacy_seq_descent: false,
             striped_fallback: true,
+            cache_frames: 1024,
         }
+    }
+}
+
+impl RnConfig {
+    /// Divides this config's page-cache frame budget across `shards`
+    /// co-resident trees (the way `nvm::PoolSet` carves pool capacity),
+    /// flooring at one minimal set per shard so no shard ends up
+    /// accidentally uncached. A zero budget stays zero: disabling the
+    /// cache disables it for every shard.
+    pub fn carve_cache_frames(&self, shards: usize) -> RnConfig {
+        assert!(shards > 0, "carving across zero shards");
+        let mut cfg = *self;
+        if cfg.cache_frames > 0 {
+            cfg.cache_frames = (self.cache_frames / shards).max(nvm::CACHE_WAYS);
+        }
+        cfg
     }
 }
 
@@ -213,11 +238,24 @@ impl RnTree {
         &self.timers
     }
 
+    /// Page-cache counter snapshot, `None` when `cache_frames == 0`.
+    pub fn cache_stats(&self) -> Option<nvm::CacheStats> {
+        self.index.page_cache().map(|c| c.stats())
+    }
+
+    /// Restart taxonomy of the cached optimistic descent (zeros when the
+    /// cache is disabled — the descent then never leaves the TM).
+    pub fn descent_stats(&self) -> index_common::DescentStats {
+        self.index.descent_stats()
+    }
+
     fn traverse(&self, key: Key) -> u64 {
         if self.cfg.seq_traversal {
             self.index.traverse_seq(key)
         } else {
-            self.index.traverse_tm(key)
+            // Cached optimistic descent when a page cache is attached
+            // (cfg.cache_frames > 0); identical to traverse_tm otherwise.
+            self.index.traverse_cached(key)
         }
     }
 
@@ -1221,7 +1259,9 @@ impl ObsSource for RnTree {
     /// counters), `htm_retries` (the retries-to-commit distribution plus
     /// the adaptive policy's effective-retry-budget distribution),
     /// `phases` (the modify-path breakdown, present only while the timers
-    /// are enabled), and `events` (the pool's crash-forensics ring).
+    /// are enabled), `cache` (page-cache hit/miss/eviction counters plus
+    /// the optimistic-descent restart taxonomy, present only with a cache
+    /// attached), and `events` (the pool's crash-forensics ring).
     fn obs_sections(&self) -> Vec<(String, Section)> {
         let mut tree = self.stats().counters();
         let rn = self.rn_stats();
@@ -1254,6 +1294,22 @@ impl ObsSource for RnTree {
                 .map(|&p| (p.name().to_string(), self.timers.snapshot(p)))
                 .collect();
             out.push(("phases".to_string(), Section::Latencies(phases)));
+        }
+        if let Some(cs) = self.cache_stats() {
+            let ds = self.descent_stats();
+            out.push((
+                "cache".to_string(),
+                Section::Counters(vec![
+                    ("hits".into(), cs.hits),
+                    ("misses".into(), cs.misses),
+                    ("fills".into(), cs.fills),
+                    ("evictions".into(), cs.evictions),
+                    ("invalidations".into(), cs.invalidations),
+                    ("read_restarts".into(), cs.read_restarts),
+                    ("descent_restarts".into(), ds.restarts),
+                    ("descent_tm_fallbacks".into(), ds.tm_fallbacks),
+                ]),
+            ));
         }
         out.push(("events".to_string(), Section::Events(self.pool.events().dump())));
         out

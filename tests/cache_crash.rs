@@ -1,0 +1,226 @@
+//! Crash-point sweep with a *warm* DRAM page cache (PR 6): the cache is
+//! volatile by design — recovery must rebuild routing from the NVM
+//! capacity tier alone and start a cold cache, no matter how much DRAM
+//! state was live at the crash. This re-runs the durable-linearizability
+//! sweep of `crash_points.rs` with two twists: finds are interleaved
+//! into the op stream so the cache is hot (full of now-doomed frames) at
+//! every trap point, and after each recovery the test asserts the new
+//! cache starts empty *and* the recovered tree answers from persistent
+//! state only.
+//!
+//! The invariant that makes this cheap to state: `RnTree::recover`
+//! always constructs a fresh `PageCache` (DESIGN.md §5g) — there is no
+//! cache persistence to test, only the absence of any dependence on the
+//! pre-crash cache.
+
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use index_common::PersistentIndex;
+use nvm::{PmemConfig, PmemPool};
+use rntree::{RnConfig, RnTree};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, u64),
+    Upsert(u64, u64),
+    Remove(u64),
+}
+
+/// The crash_points.rs script: inserts, updates, removes, and enough
+/// volume to split leaves while the trap is armed.
+fn script() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for k in 1..=90u64 {
+        ops.push(Op::Insert(k * 3, k));
+    }
+    for k in (1..=90u64).step_by(2) {
+        ops.push(Op::Upsert(k * 3, k + 1_000));
+    }
+    for k in (1..=90u64).step_by(4) {
+        ops.push(Op::Remove(k * 3));
+    }
+    for k in 200..=260u64 {
+        ops.push(Op::Insert(k * 5 + 1, k));
+    }
+    ops
+}
+
+/// Applies ops, interleaving a burst of finds after every op so the
+/// page cache stays hot at whichever persist the trap fires on. Finds
+/// never persist, so the trap schedule is identical to the uncached
+/// sweep. Returns the in-flight op if the trap fired.
+fn apply_with_hot_cache(
+    tree: &RnTree,
+    ops: &[Op],
+    model: &mut BTreeMap<u64, u64>,
+) -> Option<Op> {
+    for &op in ops {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| match op {
+            Op::Insert(k, v) => tree.insert(k, v).map(|_| (k, Some(v))),
+            Op::Upsert(k, v) => tree.upsert(k, v).map(|_| (k, Some(v))),
+            Op::Remove(k) => tree.remove(k).map(|_| (k, None)),
+        }));
+        match r {
+            Ok(Ok((k, Some(v)))) => {
+                model.insert(k, v);
+            }
+            Ok(Ok((k, None))) => {
+                model.remove(&k);
+            }
+            Ok(Err(_)) => {}
+            Err(_) => return Some(op),
+        }
+        // Re-descend to a spread of acknowledged keys: refills whatever
+        // the op's invalidations dropped, keeping DRAM full of frames
+        // the crash is about to orphan.
+        for (i, &k) in model.keys().enumerate() {
+            if i % 7 == 0 {
+                let _ = tree.find(k);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn every_crash_point_recovers_from_nvm_alone_despite_a_warm_cache() {
+    let default_hook = std::panic::take_hook();
+    if std::env::var_os("CACHE_CRASH_LOUD").is_none() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+
+    let ops = script();
+    let cfg = RnConfig {
+        journal_slots: 2,
+        // Small budget: maximal fill/evict/invalidate churn per op, so
+        // trap points land inside every cache protocol phase too.
+        cache_frames: 8,
+        ..RnConfig::default()
+    };
+    assert!(cfg.cache_frames > 0, "this sweep must run cached");
+
+    // Count total persists of an untrapped run (finds add none).
+    let total = {
+        let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+        let tree = RnTree::create(Arc::clone(&pool), cfg);
+        let base = pool.stats().snapshot().persists;
+        let mut model = BTreeMap::new();
+        assert!(apply_with_hot_cache(&tree, &ops, &mut model).is_none());
+        let s = tree.cache_stats().unwrap();
+        assert!(s.hits > 0 && s.fills > 0, "sweep would run with a cold cache: {s:?}");
+        pool.stats().snapshot().persists - base
+    };
+    assert!(total > 300, "script too small: {total} persists");
+
+    // Every 7th point (coprime with the 2- and 3-persist op patterns),
+    // plus the edges.
+    let mut points: Vec<u64> = (1..=total).step_by(7).collect();
+    points.extend(total.saturating_sub(3)..=total);
+    points.sort_unstable();
+    points.dedup();
+
+    for &trap_at in &points {
+        let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+        let tree = RnTree::create(Arc::clone(&pool), cfg);
+        pool.arm_persist_trap(trap_at);
+        let mut model = BTreeMap::new();
+        let in_flight = apply_with_hot_cache(&tree, &ops, &mut model);
+        pool.disarm_persist_trap();
+        drop(tree); // the warm cache dies here — recovery never sees it
+        pool.simulate_crash();
+
+        let tree = RnTree::recover(Arc::clone(&pool), cfg);
+
+        // Recovery must begin cold: zero hits, zero fills, zero of
+        // everything (checked before any operation that could descend).
+        // Any nonzero counter would mean recovery consulted DRAM state
+        // that did not survive the crash.
+        let s = tree.cache_stats().expect("recovered tree must re-attach a cache");
+        assert_eq!(s, Default::default(), "trap@{trap_at}: recovered cache not cold: {s:?}");
+
+        tree.verify_invariants()
+            .unwrap_or_else(|e| panic!("trap@{trap_at}: invariants: {e}"));
+
+        let in_flight_key = match in_flight {
+            Some(Op::Insert(k, _)) | Some(Op::Upsert(k, _)) | Some(Op::Remove(k)) => Some(k),
+            None => None,
+        };
+        for (k, v) in &model {
+            if Some(*k) == in_flight_key {
+                continue;
+            }
+            assert_eq!(
+                tree.find(*k),
+                Some(*v),
+                "trap@{trap_at}: acked key {k} wrong after crash"
+            );
+        }
+        if let Some(op) = in_flight {
+            let (k, new_v) = match op {
+                Op::Insert(k, v) | Op::Upsert(k, v) => (k, Some(v)),
+                Op::Remove(k) => (k, None),
+            };
+            let old_v = model.get(&k).copied();
+            let found = tree.find(k);
+            assert!(
+                found == old_v || found == new_v,
+                "trap@{trap_at}: in-flight op on {k} left torn state {found:?}"
+            );
+        }
+
+        // And those post-recovery finds ran the cached descent: the
+        // fresh cache fills from recovered NVM state, proving the cache
+        // rebuilds from the capacity tier rather than surviving DRAM.
+        // Early trap points recover a single-leaf tree (root == leaf, no
+        // inner level for the cache to serve), which is the only way the
+        // descent can legitimately never consult the cache — so demand
+        // fills exactly when any cached lookup happened at all.
+        if !model.is_empty() {
+            let s = tree.cache_stats().unwrap();
+            assert!(
+                s.fills > 0 || (s.hits == 0 && s.misses == 0),
+                "trap@{trap_at}: cache consulted but never refilled: {s:?}"
+            );
+        }
+        tree.insert(999_999, 1)
+            .unwrap_or_else(|e| panic!("trap@{trap_at}: post-recovery insert: {e}"));
+    }
+
+    std::panic::set_hook(default_hook);
+}
+
+/// Clean-shutdown variant: even without a crash, a reopened tree starts
+/// with a cold cache — the cache is a per-process structure, never
+/// carried across instances.
+#[test]
+fn clean_reopen_starts_with_a_cold_cache() {
+    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+    let cfg = RnConfig {
+        journal_slots: 2,
+        ..RnConfig::default()
+    };
+    let tree = RnTree::create(Arc::clone(&pool), cfg);
+    for k in 1..=2_000u64 {
+        tree.insert(k, k * 11).unwrap();
+    }
+    for k in 1..=2_000u64 {
+        assert_eq!(tree.find(k), Some(k * 11));
+    }
+    assert!(tree.cache_stats().unwrap().hits > 0, "cache never warmed");
+    tree.close();
+    drop(tree);
+    pool.simulate_crash();
+
+    let tree = RnTree::reopen_clean(Arc::clone(&pool), cfg);
+    assert_eq!(
+        tree.cache_stats().unwrap(),
+        Default::default(),
+        "reopened cache must start cold"
+    );
+    for k in 1..=2_000u64 {
+        assert_eq!(tree.find(k), Some(k * 11));
+    }
+    tree.verify_invariants().unwrap();
+}

@@ -1,11 +1,12 @@
 //! Table 1 regression tests: RNTree's modify operations must keep their
 //! exact persistent-instruction counts — insert 2, update 2, remove 1,
 //! find 0 — with the fingerprint probe enabled or disabled, with the KV
-//! flush synchronous or overlapped (async), in both slot variants. The
-//! fingerprint table is DRAM-only and the async flush still ends in
-//! exactly one fence, so both must be invisible to the persist counters;
-//! these tests pin that down op-by-op (the Table 1 experiment only
-//! reports batch minima).
+//! flush synchronous or overlapped (async), in both slot variants, and
+//! with the DRAM page cache enabled or disabled. The fingerprint table
+//! and the page cache are DRAM-only and the async flush still ends in
+//! exactly one fence, so all three must be invisible to the persist
+//! counters; these tests pin that down op-by-op (the Table 1 experiment
+//! only reports batch minima).
 //!
 //! Also covers the transient-rebuild rule: after a crash or a clean
 //! reopen, the fingerprint table must be re-derived from the persistent
@@ -27,44 +28,87 @@ fn modify_persist_counts_are_exact_in_every_variant() {
     for fingerprints in [true, false] {
         for dual in [true, false] {
             for async_flush in [true, false] {
-                let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
-                let cfg = RnConfig {
-                    dual_slot: dual,
-                    fingerprints,
-                    async_flush,
-                    journal_slots: 2,
-                    ..RnConfig::default()
-                };
-                let tree = RnTree::create(Arc::clone(&pool), cfg);
-                let tag = format!("dual={dual} fp={fingerprints} async={async_flush}");
+                for cache_frames in [0usize, 64] {
+                    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+                    let cfg = RnConfig {
+                        dual_slot: dual,
+                        fingerprints,
+                        async_flush,
+                        journal_slots: 2,
+                        cache_frames,
+                        ..RnConfig::default()
+                    };
+                    let tree = RnTree::create(Arc::clone(&pool), cfg);
+                    let tag = format!(
+                        "dual={dual} fp={fingerprints} async={async_flush} cache={cache_frames}"
+                    );
 
-                // 20 inserts + 10 updates + 5 removes allocate 30 log entries
-                // in one 63-entry leaf: no split/compaction can fire, so every
-                // op must show its exact steady-state cost.
-                for k in 1..=20u64 {
+                    // 20 inserts + 10 updates + 5 removes allocate 30 log entries
+                    // in one 63-entry leaf: no split/compaction can fire, so every
+                    // op must show its exact steady-state cost.
+                    for k in 1..=20u64 {
+                        let before = persists(&pool);
+                        tree.insert(k, k * 3).unwrap();
+                        assert_eq!(persists(&pool) - before, 2, "insert {k} ({tag})");
+                    }
+                    for k in 1..=10u64 {
+                        let before = persists(&pool);
+                        tree.update(k, k * 3 + 1).unwrap();
+                        assert_eq!(persists(&pool) - before, 2, "update {k} ({tag})");
+                    }
+                    for k in 16..=20u64 {
+                        let before = persists(&pool);
+                        tree.remove(k).unwrap();
+                        assert_eq!(persists(&pool) - before, 1, "remove {k} ({tag})");
+                    }
                     let before = persists(&pool);
-                    tree.insert(k, k * 3).unwrap();
-                    assert_eq!(persists(&pool) - before, 2, "insert {k} ({tag})");
+                    assert_eq!(tree.find(5), Some(16));
+                    assert_eq!(tree.find(12), Some(36));
+                    assert_eq!(tree.find(18), None);
+                    assert_eq!(persists(&pool) - before, 0, "find persisted ({tag})");
+                    tree.verify_invariants().unwrap();
                 }
-                for k in 1..=10u64 {
-                    let before = persists(&pool);
-                    tree.update(k, k * 3 + 1).unwrap();
-                    assert_eq!(persists(&pool) - before, 2, "update {k} ({tag})");
-                }
-                for k in 16..=20u64 {
-                    let before = persists(&pool);
-                    tree.remove(k).unwrap();
-                    assert_eq!(persists(&pool) - before, 1, "remove {k} ({tag})");
-                }
-                let before = persists(&pool);
-                assert_eq!(tree.find(5), Some(16));
-                assert_eq!(tree.find(12), Some(36));
-                assert_eq!(tree.find(18), None);
-                assert_eq!(persists(&pool) - before, 0, "find persisted ({tag})");
-                tree.verify_invariants().unwrap();
             }
         }
     }
+}
+
+/// Whole-stream version of the cache dimension above: a split-heavy
+/// insert stream (plenty of fills, evictions, and invalidations on the
+/// cached side) must cost exactly the same persists with and without
+/// the DRAM page cache, including the finds that fault it in.
+#[test]
+fn cache_churn_adds_zero_persists_across_a_split_heavy_stream() {
+    let totals: Vec<u64> = [0usize, 8]
+        .into_iter()
+        .map(|cache_frames| {
+            let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+            let cfg = RnConfig {
+                journal_slots: 2,
+                cache_frames,
+                ..RnConfig::default()
+            };
+            let tree = RnTree::create(Arc::clone(&pool), cfg);
+            let base = persists(&pool);
+            // 30 k ascending keys build ~1 k leaves and a two-level inner
+            // index of well over 8 nodes, so the 8-frame cache must evict.
+            for k in 1..=30_000u64 {
+                tree.insert(k, k).unwrap();
+                if k % 5 == 0 {
+                    assert_eq!(tree.find(k / 2 + 1), Some(k / 2 + 1));
+                }
+            }
+            if cache_frames > 0 {
+                let s = tree.cache_stats().unwrap();
+                assert!(
+                    s.fills > 0 && s.evictions > 0 && s.invalidations > 0,
+                    "stream did not churn the cache: {s:?}"
+                );
+            }
+            persists(&pool) - base
+        })
+        .collect();
+    assert_eq!(totals[0], totals[1], "cache changed persist totals: {totals:?}");
 }
 
 #[test]
