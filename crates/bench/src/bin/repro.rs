@@ -22,7 +22,11 @@
 //! PATH`), and `cache-scale` (DRAM page-cache descent vs the
 //! all-transactional descent across cache-resident and overflow working
 //! sets; asserts a detectable win when resident and no cliff when
-//! overflowing; written to `BENCH_PR6.json` or `--out PATH`).
+//! overflowing; written to `BENCH_PR6.json` or `--out PATH`), and
+//! `varkey-scale` (variable-length string-key workloads: asserts the
+//! `U64Key` codec path is not detectably slower than the native u64 API,
+//! and reports oracle-checked string-cell throughput with head-tie
+//! counters; written to `BENCH_PR7.json` or `--out PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
 //! `--out PATH`, `--assert-overhead PCT` (obs-report only: fail the run
@@ -35,7 +39,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|varkey-scale|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH] [--assert-overhead PCT]"
     );
@@ -55,6 +59,7 @@ fn main() {
         "obs-report" => "BENCH_PR4.json",
         "contention-scale" => "BENCH_PR5.json",
         "cache-scale" => "BENCH_PR6.json",
+        "varkey-scale" => "BENCH_PR7.json",
         _ => "BENCH_PR1.json",
     });
     let mut assert_overhead: Option<f64> = None;
@@ -137,6 +142,7 @@ fn main() {
         "obs-report" => bench::obsbench::obs_report(&scale, &out_path, assert_overhead),
         "contention-scale" => bench::contbench::contention_scale(&scale, &out_path),
         "cache-scale" => bench::cachebench::cache_scale(&scale, &out_path),
+        "varkey-scale" => bench::varbench::varkey_scale(&scale, &out_path),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

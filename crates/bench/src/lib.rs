@@ -32,5 +32,6 @@ pub mod obsbench;
 pub mod prbench;
 pub mod report;
 pub mod shardbench;
+pub mod varbench;
 
 pub use harness::{build_tree, pool_for, warm, Scale, TreeKind};

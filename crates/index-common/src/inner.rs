@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use htm::{HtmDomain, OptimisticGate, TmWord, TxResult, Txn};
 use nvm::{FrameView, PageCache, FRAME_WORDS};
 
-use crate::{is_leaf_ref, Key};
+use crate::{is_leaf_ref, key_head, Key, KeyBuf};
 
 /// Maximum children per internal node.
 pub const INNER_FANOUT: usize = 32;
@@ -45,6 +45,100 @@ impl Inner {
             keys: std::array::from_fn(|_| TmWord::new(0)),
             children: std::array::from_fn(|_| TmWord::new(0)),
         })
+    }
+}
+
+/// Separator-word layout of a byte-keyed index: `(head << 32) | arena_idx`.
+///
+/// Inner nodes store one 64-bit word per separator either way. A u64-keyed
+/// index stores the key itself (bit-identical to the pre-codec layout); a
+/// byte-keyed index packs the separator's 4-byte [`key_head`] into the high
+/// half and an index into the [`SepArena`] into the low half. Word
+/// comparisons then go head-first — `a >> 32` vs `b >> 32` decides whenever
+/// the heads differ, which is the common case — and dereference the arena
+/// for full byte strings only on head ties (counted, and exported through
+/// the tree's obs `keys` section).
+const SEP_HEAD_SHIFT: u32 = 32;
+const SEP_IDX_MASK: u64 = (1 << SEP_HEAD_SHIFT) - 1;
+
+/// Segment geometry of the [`SepArena`]: lazily-allocated fixed segments so
+/// published slots never move (readers hold references across validation
+/// windows) and growth never reallocates under a reader.
+const SEP_SEG_BITS: usize = 10;
+const SEP_SEG_SIZE: usize = 1 << SEP_SEG_BITS;
+const SEP_MAX_SEGS: usize = 1 << 14;
+
+/// Append-only interning store for separator byte strings.
+///
+/// Separators are immutable once published (a split's separator never
+/// changes; rebuilds intern fresh copies), so the arena only ever appends:
+/// `intern` runs under a small mutex — it is called on the split path,
+/// which already serializes per leaf — while `get` is lock-free and safe
+/// from transactional readers and optimistic descents. Publication piggy-
+/// backs on the packed word's own publication: a reader only learns an
+/// arena index from a committed/validated inner-node word, which the
+/// writer stored *after* `intern` returned, and both `OnceLock` cells use
+/// release/acquire internally.
+/// One lazily-allocated arena segment: `SEP_SEG_SIZE` write-once slots.
+type SepSeg = OnceLock<Box<[OnceLock<KeyBuf>]>>;
+
+struct SepArena {
+    segs: Box<[SepSeg]>,
+    len: Mutex<u32>,
+}
+
+impl SepArena {
+    fn new() -> SepArena {
+        SepArena {
+            segs: (0..SEP_MAX_SEGS).map(|_| OnceLock::new()).collect(),
+            len: Mutex::new(0),
+        }
+    }
+
+    /// Copies `bytes` into a fresh slot and returns its index.
+    fn intern(&self, bytes: &[u8]) -> u32 {
+        let mut len = self.len.lock().unwrap();
+        let idx = *len as usize;
+        assert!(idx < SEP_MAX_SEGS * SEP_SEG_SIZE, "separator arena exhausted");
+        let seg = self.segs[idx >> SEP_SEG_BITS]
+            .get_or_init(|| (0..SEP_SEG_SIZE).map(|_| OnceLock::new()).collect());
+        seg[idx & (SEP_SEG_SIZE - 1)]
+            .set(KeyBuf::from_slice(bytes))
+            .expect("fresh arena slot already filled");
+        *len += 1;
+        idx as u32
+    }
+
+    /// The separator bytes at `idx`. Only reachable through a published
+    /// packed word, so the slot is always filled.
+    #[inline]
+    fn get(&self, idx: u32) -> &[u8] {
+        self.segs[idx as usize >> SEP_SEG_BITS]
+            .get()
+            .expect("arena segment for published index")[idx as usize & (SEP_SEG_SIZE - 1)]
+            .get()
+            .expect("published separator slot")
+            .as_slice()
+    }
+}
+
+/// A key being compared against stored separator words during a descent.
+///
+/// `U64` and `Bytes` are search probes from the two public APIs; `Word` is
+/// a stored separator word itself (used when `tree_update` compares its
+/// pending separator — already in word form — against a node's words).
+/// In a u64-keyed index `Word(w)` behaves exactly like `U64(w)`.
+#[derive(Clone, Copy)]
+enum Cmp<'a> {
+    U64(u64),
+    Bytes { head: u32, key: &'a [u8] },
+    Word(u64),
+}
+
+impl<'a> Cmp<'a> {
+    #[inline]
+    fn bytes(key: &'a [u8]) -> Cmp<'a> {
+        Cmp::Bytes { head: key_head(key), key }
     }
 }
 
@@ -72,15 +166,17 @@ fn prefetch_node<T>(p: *const T) {
 const _: () = assert!(FRAME_WORDS == 1 + MAX_KEYS + INNER_FANOUT);
 
 /// Branching binary search over a node image in frame-word layout,
-/// returning the child covering `key`. `word(i)` supplies the i-th image
-/// word (from a [`FrameView`] or a local snapshot).
+/// returning the child covering the probe key. `word(i)` supplies the i-th
+/// image word (from a [`FrameView`] or a local snapshot); `le(w)` decides
+/// "probe ≤ separator word `w`" (plain integer compare for u64 keys,
+/// head-then-bytes for byte keys).
 #[inline]
-fn route_words(word: impl Fn(usize) -> u64, key: Key) -> u64 {
+fn route_words(word: impl Fn(usize) -> u64, le: impl Fn(u64) -> bool) -> u64 {
     let cnt = (word(0) as usize).min(MAX_KEYS);
     let (mut lo, mut hi) = (0usize, cnt);
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if key <= word(1 + mid) {
+        if le(word(1 + mid)) {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -136,6 +232,13 @@ pub struct InnerIndex {
     /// Cached descents that exhausted their restart budget and fell back
     /// to the transactional walk.
     descent_tm_fallbacks: AtomicU64,
+    /// Byte-key mode: separator words are `(head, arena index)` pairs into
+    /// this arena (see [`SEP_HEAD_SHIFT`]). `None` = u64 mode, where words
+    /// are the keys themselves and none of the byte machinery is touched.
+    arena: Option<SepArena>,
+    /// Comparisons whose 4-byte heads tied and had to read full separator
+    /// bytes from the arena (byte mode only).
+    head_ties: AtomicU64,
 }
 
 /// Restart taxonomy of [`InnerIndex::traverse_cached`]: how often the
@@ -166,6 +269,18 @@ impl InnerIndex {
     /// Creates an index whose single child is the given leaf reference
     /// (use [`crate::leaf_ref`] to build it).
     pub fn new(initial_child: u64) -> Self {
+        Self::with_arena(initial_child, None)
+    }
+
+    /// Creates a **byte-keyed** index: separators are byte strings, routed
+    /// via the `*_k` methods, stored as packed `(head, arena)` words. The
+    /// u64 methods (`traverse_tm`, `tree_update`, …) must not be used on a
+    /// byte-keyed index — their raw-integer comparisons would misroute.
+    pub fn new_bytes(initial_child: u64) -> Self {
+        Self::with_arena(initial_child, Some(SepArena::new()))
+    }
+
+    fn with_arena(initial_child: u64, arena: Option<SepArena>) -> Self {
         assert!(is_leaf_ref(initial_child), "root must start as a leaf");
         InnerIndex {
             root: TmWord::new(initial_child),
@@ -176,7 +291,56 @@ impl InnerIndex {
             gate: OptimisticGate::new(),
             descent_restarts: AtomicU64::new(0),
             descent_tm_fallbacks: AtomicU64::new(0),
+            arena,
+            head_ties: AtomicU64::new(0),
         }
+    }
+
+    /// Whether this index routes byte-string keys ([`InnerIndex::new_bytes`]).
+    pub fn is_byte_keyed(&self) -> bool {
+        self.arena.is_some()
+    }
+
+    /// Comparisons that fell back to full separator bytes on a 4-byte head
+    /// tie (always 0 for a u64-keyed index).
+    pub fn head_tie_fallbacks(&self) -> u64 {
+        self.head_ties.load(Ordering::Relaxed)
+    }
+
+    /// "probe ≤ stored separator word": the one comparison the whole
+    /// descent machinery is built from. u64 mode compares integers; byte
+    /// mode compares 4-byte heads and touches the arena only on a tie.
+    #[inline]
+    fn cmp_le(&self, c: Cmp<'_>, w: u64) -> bool {
+        match (c, &self.arena) {
+            (Cmp::U64(k), _) | (Cmp::Word(k), None) => k <= w,
+            (Cmp::Bytes { head, key }, Some(arena)) => {
+                let wh = (w >> SEP_HEAD_SHIFT) as u32;
+                if head != wh {
+                    return head < wh;
+                }
+                self.head_ties.fetch_add(1, Ordering::Relaxed);
+                key <= arena.get((w & SEP_IDX_MASK) as u32)
+            }
+            (Cmp::Word(a), Some(arena)) => {
+                let (ah, wh) = ((a >> SEP_HEAD_SHIFT) as u32, (w >> SEP_HEAD_SHIFT) as u32);
+                if ah != wh {
+                    return ah < wh;
+                }
+                self.head_ties.fetch_add(1, Ordering::Relaxed);
+                arena.get((a & SEP_IDX_MASK) as u32) <= arena.get((w & SEP_IDX_MASK) as u32)
+            }
+            (Cmp::Bytes { .. }, None) => {
+                unreachable!("byte probe on a u64-keyed index")
+            }
+        }
+    }
+
+    /// Interns `sep` and returns its packed separator word (byte mode).
+    fn pack_sep(&self, sep: &[u8]) -> u64 {
+        let arena = self.arena.as_ref().expect("pack_sep needs a byte-keyed index");
+        let idx = arena.intern(sep);
+        ((key_head(sep) as u64) << SEP_HEAD_SHIFT) | idx as u64
     }
 
     /// Attaches a DRAM page cache; [`InnerIndex::traverse_cached`] uses it
@@ -241,14 +405,14 @@ impl InnerIndex {
     /// Invariant: the answer lies in `[lo, lo + len - 1]` over the `cnt + 1`
     /// candidate children; probing `keys[lo + half - 1]` decides whether it
     /// is in the upper `half` (`key` greater) or the lower `len - half`.
-    fn search_child<'t>(&'t self, txn: &mut Txn<'t>, inner: &'t Inner, key: Key) -> TxResult<usize> {
+    fn search_child<'t>(&'t self, txn: &mut Txn<'t>, inner: &'t Inner, c: Cmp<'t>) -> TxResult<usize> {
         let cnt = (txn.read(&inner.count)? as usize).min(MAX_KEYS);
         let mut lo = 0usize;
         let mut len = cnt + 1;
         while len > 1 {
             let half = len / 2;
             let k = txn.read(&inner.keys[lo + half - 1])?;
-            lo += usize::from(key > k) * half;
+            lo += usize::from(!self.cmp_le(c, k)) * half;
             len -= half;
         }
         Ok(lo)
@@ -259,10 +423,19 @@ impl InnerIndex {
     /// offset. Composable: FPTree reads the leaf's lock word in the same
     /// transaction.
     pub fn traverse_in<'t>(&'t self, txn: &mut Txn<'t>, key: Key) -> TxResult<u64> {
+        self.traverse_in_c(txn, Cmp::U64(key))
+    }
+
+    /// [`InnerIndex::traverse_in`] over a byte-string key (byte mode).
+    pub fn traverse_in_k<'t>(&'t self, txn: &mut Txn<'t>, key: &'t [u8]) -> TxResult<u64> {
+        self.traverse_in_c(txn, Cmp::bytes(key))
+    }
+
+    fn traverse_in_c<'t>(&'t self, txn: &mut Txn<'t>, c: Cmp<'t>) -> TxResult<u64> {
         let mut node_ref = txn.read(&self.root)?;
         while !is_leaf_ref(node_ref) {
             let inner = self.deref(node_ref);
-            let idx = self.search_child(txn, inner, key)?;
+            let idx = self.search_child(txn, inner, c)?;
             node_ref = txn.read(&inner.children[idx])?;
             if !is_leaf_ref(node_ref) {
                 prefetch_node(node_ref as *const Inner);
@@ -273,7 +446,13 @@ impl InnerIndex {
 
     /// `htmTreeTraverse` as a standalone HTM function (paper Table 2).
     pub fn traverse_tm(&self, key: Key) -> u64 {
+        debug_assert!(!self.is_byte_keyed(), "u64 traverse on a byte-keyed index");
         self.domain.atomic(|txn| self.traverse_in(txn, key))
+    }
+
+    /// [`InnerIndex::traverse_tm`] over a byte-string key (byte mode).
+    pub fn traverse_tm_k(&self, key: &[u8]) -> u64 {
+        self.domain.atomic(|txn| self.traverse_in_k(txn, key))
     }
 
     /// Optimistic descent over the DRAM page cache: each inner level is
@@ -300,8 +479,18 @@ impl InnerIndex {
     /// transactional descent racing a split that commits between the
     /// traverse and the leaf access.
     pub fn traverse_cached(&self, key: Key) -> u64 {
+        debug_assert!(!self.is_byte_keyed(), "u64 traverse on a byte-keyed index");
+        self.traverse_cached_c(Cmp::U64(key))
+    }
+
+    /// [`InnerIndex::traverse_cached`] over a byte-string key (byte mode).
+    pub fn traverse_cached_k(&self, key: &[u8]) -> u64 {
+        self.traverse_cached_c(Cmp::bytes(key))
+    }
+
+    fn traverse_cached_c(&self, c: Cmp<'_>) -> u64 {
         let Some(cache) = self.cache.get() else {
-            return self.traverse_tm(key);
+            return self.domain.atomic(|txn| self.traverse_in_c(txn, c));
         };
         'restart: for attempt in 0..MAX_DESCENT_RESTARTS {
             if attempt > 0 {
@@ -312,7 +501,7 @@ impl InnerIndex {
             // so a plain acquire load suffices here.
             let mut node_ref = self.root.load_direct();
             while !is_leaf_ref(node_ref) {
-                match self.cached_child(cache, node_ref, key) {
+                match self.cached_child(cache, node_ref, c) {
                     Some(child) => {
                         node_ref = child;
                         if !is_leaf_ref(node_ref) {
@@ -325,7 +514,7 @@ impl InnerIndex {
             return crate::leaf_off(node_ref);
         }
         self.descent_tm_fallbacks.fetch_add(1, Ordering::Relaxed);
-        self.traverse_tm(key)
+        self.domain.atomic(|txn| self.traverse_in_c(txn, c))
     }
 
     /// Resolves one descent step through the cache: hit → route from the
@@ -333,8 +522,10 @@ impl InnerIndex {
     /// snapshot (serving the step from the same snapshot); no frame
     /// available → gate-validated direct read. `None` means validation
     /// failed somewhere and the descent must restart from the root.
-    fn cached_child(&self, cache: &PageCache, node_ref: u64, key: Key) -> Option<u64> {
-        if let Some(child) = cache.optimistic_read(node_ref, |v: &FrameView<'_>| route_words(|i| v.word(i), key)) {
+    fn cached_child(&self, cache: &PageCache, node_ref: u64, c: Cmp<'_>) -> Option<u64> {
+        if let Some(child) =
+            cache.optimistic_read(node_ref, |v: &FrameView<'_>| route_words(|i| v.word(i), |w| self.cmp_le(c, w)))
+        {
             return Some(child);
         }
         let inner = self.deref(node_ref);
@@ -350,7 +541,7 @@ impl InnerIndex {
             };
             let words = snapshot_node(inner);
             if self.gate.validate(token) {
-                let child = route_words(|i| words[i], key);
+                let child = route_words(|i| words[i], |w| self.cmp_le(c, w));
                 guard.commit(&words);
                 return Some(child);
             }
@@ -365,7 +556,7 @@ impl InnerIndex {
         let (mut lo, mut hi) = (0usize, cnt);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if key <= inner.keys[mid].load_direct() {
+            if self.cmp_le(c, inner.keys[mid].load_direct()) {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -379,8 +570,18 @@ impl InnerIndex {
     /// benchmarks, recovery verification). Must not run concurrently with
     /// transactional structure updates.
     pub fn traverse_seq(&self, key: Key) -> u64 {
+        debug_assert!(!self.is_byte_keyed(), "u64 traverse on a byte-keyed index");
+        self.traverse_seq_c(Cmp::U64(key))
+    }
+
+    /// [`InnerIndex::traverse_seq`] over a byte-string key (byte mode).
+    pub fn traverse_seq_k(&self, key: &[u8]) -> u64 {
+        self.traverse_seq_c(Cmp::bytes(key))
+    }
+
+    fn traverse_seq_c(&self, c: Cmp<'_>) -> u64 {
         if self.legacy_seq.load(Ordering::Relaxed) {
-            return self.traverse_seq_legacy(key);
+            return self.traverse_seq_legacy(c);
         }
         let mut node_ref = self.root.load_seq();
         while !is_leaf_ref(node_ref) {
@@ -393,7 +594,7 @@ impl InnerIndex {
             let (mut lo, mut hi) = (0usize, cnt);
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                if key <= inner.keys[mid].load_seq() {
+                if self.cmp_le(c, inner.keys[mid].load_seq()) {
                     hi = mid;
                 } else {
                     lo = mid + 1;
@@ -410,7 +611,7 @@ impl InnerIndex {
     /// The sequential descent as it was before the branch-light rewrite:
     /// a branching binary search per level and no prefetch. Kept verbatim
     /// so `repro bench-json` can measure the rewrite's effect.
-    fn traverse_seq_legacy(&self, key: Key) -> u64 {
+    fn traverse_seq_legacy(&self, c: Cmp<'_>) -> u64 {
         let mut node_ref = self.root.load_seq();
         while !is_leaf_ref(node_ref) {
             let inner = self.deref(node_ref);
@@ -418,7 +619,7 @@ impl InnerIndex {
             let (mut lo, mut hi) = (0usize, cnt);
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                if key <= inner.keys[mid].load_seq() {
+                if self.cmp_le(c, inner.keys[mid].load_seq()) {
                     hi = mid;
                 } else {
                     lo = mid + 1;
@@ -434,8 +635,24 @@ impl InnerIndex {
     /// (left) leaf; `new_child` (a leaf reference) covers keys `> sep` up to
     /// the old leaf's previous upper bound.
     pub fn tree_update(&self, sep: Key, new_child: u64) {
+        assert!(!self.is_byte_keyed(), "u64 tree_update on a byte-keyed index");
+        self.tree_update_word(sep, new_child)
+    }
+
+    /// `htmTreeUpdate` over a byte-string separator (byte mode): interns
+    /// `sep` into the arena **before** entering the transaction — interning
+    /// takes a mutex, and the transactional body must stay side-effect-free
+    /// so it can abort and retry — then runs the same word-level update.
+    /// An aborted-and-retried transaction reuses the interned word; a
+    /// transaction that never commits merely leaks one arena slot.
+    pub fn tree_update_k(&self, sep: &[u8], new_child: u64) {
+        let word = self.pack_sep(sep);
+        self.tree_update_word(word, new_child)
+    }
+
+    fn tree_update_word(&self, sep_word: u64, new_child: u64) {
         self.gate.writer_enter();
-        let touched = self.domain.atomic(|txn| self.tree_update_in(txn, sep, new_child));
+        let touched = self.domain.atomic(|txn| self.tree_update_in(txn, sep_word, new_child));
         self.gate.writer_exit();
         // Invalidate after the writer bracket closes: the scan's SeqCst tag
         // loads then see (or provably post-date) every in-flight fill, so
@@ -447,20 +664,23 @@ impl InnerIndex {
         }
     }
 
-    /// Transactional body of [`InnerIndex::tree_update`]. Returns the
+    /// Transactional body of [`InnerIndex::tree_update`]. `sep` is a
+    /// separator **word** (the key itself in u64 mode, a packed
+    /// head+arena-index in byte mode); all comparisons go through
+    /// [`Cmp::Word`], which resolves identically in both modes. Returns the
     /// references of pre-existing inner nodes it rewrote in place, for
     /// cache invalidation; nodes freshly allocated inside the transaction
     /// (split right halves, grown roots) cannot be cached yet and are
     /// omitted. The vector is rebuilt on every abort/retry, so it reflects
     /// exactly the committed execution.
-    fn tree_update_in<'t>(&'t self, txn: &mut Txn<'t>, sep: Key, new_child: u64) -> TxResult<Vec<u64>> {
+    fn tree_update_in<'t>(&'t self, txn: &mut Txn<'t>, sep: u64, new_child: u64) -> TxResult<Vec<u64>> {
         let mut touched: Vec<u64> = Vec::with_capacity(4);
         // Descend to the leaf covering `sep`, recording the path.
         let mut path: Vec<(&'t Inner, usize)> = Vec::with_capacity(8);
         let mut node_ref = txn.read(&self.root)?;
         while !is_leaf_ref(node_ref) {
             let inner = self.deref(node_ref);
-            let idx = self.search_child(txn, inner, sep)?;
+            let idx = self.search_child(txn, inner, Cmp::Word(sep))?;
             path.push((inner, idx));
             node_ref = txn.read(&inner.children[idx])?;
         }
@@ -522,7 +742,7 @@ impl InnerIndex {
             // Now insert the pending entry into the proper half. The fresh
             // right half is private until this transaction commits, so it
             // can be edited with plain stores.
-            if pending_key <= up_key {
+            if self.cmp_le(Cmp::Word(pending_key), up_key) {
                 debug_assert!(idx <= mid);
                 let mut i = mid;
                 while i > idx {
@@ -558,13 +778,25 @@ impl InnerIndex {
     /// (leaf compaction). Returns false if the current child is not
     /// `old_child` (someone else restructured first).
     pub fn replace_child(&self, key: Key, old_child: u64, new_child: u64) -> bool {
+        debug_assert!(!self.is_byte_keyed(), "u64 replace_child on a byte-keyed index");
+        self.replace_child_c(Cmp::U64(key), old_child, new_child)
+    }
+
+    /// [`InnerIndex::replace_child`] routed by a byte-string key (byte
+    /// mode). Compaction swaps a child in place without adding separators,
+    /// so nothing is interned.
+    pub fn replace_child_k(&self, key: &[u8], old_child: u64, new_child: u64) -> bool {
+        self.replace_child_c(Cmp::bytes(key), old_child, new_child)
+    }
+
+    fn replace_child_c(&self, c: Cmp<'_>, old_child: u64, new_child: u64) -> bool {
         self.gate.writer_enter();
         let swapped_in = self.domain.atomic(|txn| {
             let mut parent: Option<(&Inner, usize)> = None;
             let mut node_ref = txn.read(&self.root)?;
             while !is_leaf_ref(node_ref) {
                 let inner = self.deref(node_ref);
-                let idx = self.search_child(txn, inner, key)?;
+                let idx = self.search_child(txn, inner, c)?;
                 parent = Some((inner, idx));
                 node_ref = txn.read(&inner.children[idx])?;
             }
@@ -600,6 +832,26 @@ impl InnerIndex {
     /// Old inner nodes stay in the registry (freed on drop); the root is
     /// swapped atomically at the end so late readers see a coherent tree.
     pub fn bulk_build(&self, leaves: &[(Key, u64)]) {
+        assert!(!self.is_byte_keyed(), "u64 bulk_build on a byte-keyed index");
+        self.bulk_build_words(leaves);
+    }
+
+    /// [`InnerIndex::bulk_build`] from `(max_key_bytes, leaf_ref)` pairs
+    /// sorted lexicographically (byte mode). Every max key is interned as a
+    /// separator word first; rebuilds therefore append to the arena, whose
+    /// old slots are reclaimed only when the index drops — the same
+    /// "orphan until drop" lifetime the inner registry already has.
+    pub fn bulk_build_k(&self, leaves: &[(KeyBuf, u64)]) {
+        debug_assert!(
+            leaves.windows(2).all(|w| w[0].0 < w[1].0),
+            "byte-keyed leaves must be strictly sorted"
+        );
+        let words: Vec<(u64, u64)> =
+            leaves.iter().map(|(k, r)| (self.pack_sep(k.as_slice()), *r)).collect();
+        self.bulk_build_words(&words);
+    }
+
+    fn bulk_build_words(&self, leaves: &[(u64, u64)]) {
         self.gate.writer_enter();
         self.bulk_build_inner(leaves);
         self.gate.writer_exit();
@@ -609,12 +861,15 @@ impl InnerIndex {
         }
     }
 
-    fn bulk_build_inner(&self, leaves: &[(Key, u64)]) {
+    fn bulk_build_inner(&self, leaves: &[(u64, u64)]) {
         assert!(!leaves.is_empty(), "bulk_build needs at least one leaf");
-        debug_assert!(leaves.windows(2).all(|w| w[0].0 < w[1].0), "leaves must be sorted");
-        let mut level: Vec<(Key, u64)> = leaves.to_vec();
+        debug_assert!(
+            leaves.windows(2).all(|w| !self.cmp_le(Cmp::Word(w[1].0), w[0].0)),
+            "leaves must be sorted"
+        );
+        let mut level: Vec<(u64, u64)> = leaves.to_vec();
         while level.len() > 1 {
-            let mut next: Vec<(Key, u64)> = Vec::with_capacity(level.len().div_ceil(INNER_FANOUT));
+            let mut next: Vec<(u64, u64)> = Vec::with_capacity(level.len().div_ceil(INNER_FANOUT));
             for group in level.chunks(INNER_FANOUT) {
                 let node_ptr = self.alloc_inner();
                 let node = self.deref(node_ptr as u64);
@@ -858,6 +1113,84 @@ mod tests {
         for i in 1..=20u64 {
             assert_eq!(idx.traverse_cached(i * 10), i * 1000 + 77, "leaf {i}");
         }
+    }
+
+    /// Byte-keyed reference model: leaf i (offset (i+1)*1000) has max key
+    /// `keys[i]`; a probe routes to the first leaf whose max key covers it.
+    fn route_model(keys: &[&[u8]], probe: &[u8]) -> u64 {
+        let i = keys.iter().position(|k| probe <= *k).unwrap_or(keys.len() - 1);
+        (i as u64 + 1) * 1000
+    }
+
+    fn build_bytes(keys: &[&[u8]]) -> InnerIndex {
+        let leaves: Vec<(KeyBuf, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (KeyBuf::from_slice(k), leaf_ref((i as u64 + 1) * 1000)))
+            .collect();
+        let idx = InnerIndex::new_bytes(leaves[0].1);
+        idx.bulk_build_k(&leaves);
+        idx
+    }
+
+    #[test]
+    fn byte_keyed_bulk_build_routes_with_head_ties() {
+        // Shared 7-byte prefix: every separator has the same 4-byte head,
+        // so every comparison must fall back to full arena bytes.
+        let keys: Vec<Vec<u8>> = (0..80u32).map(|i| format!("prefix:{i:04}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let idx = build_bytes(&refs);
+        assert!(idx.is_byte_keyed());
+        assert!(idx.depth() >= 2);
+        for probe in ["prefix:0000", "prefix:0037", "prefix:0037x", "prefix:0079", "zzz", ""] {
+            let expect = route_model(&refs, probe.as_bytes());
+            assert_eq!(idx.traverse_tm_k(probe.as_bytes()), expect, "probe {probe:?}");
+            assert_eq!(idx.traverse_seq_k(probe.as_bytes()), expect, "probe {probe:?} (seq)");
+        }
+        assert!(idx.head_tie_fallbacks() > 0, "shared-prefix keys must tie on heads");
+    }
+
+    #[test]
+    fn byte_keyed_tree_update_and_replace_child() {
+        let idx = InnerIndex::new_bytes(leaf_ref(1000));
+        // Split the single leaf at "mango": left keeps ≤ "mango".
+        idx.tree_update_k(b"mango", leaf_ref(2000));
+        assert_eq!(idx.traverse_tm_k(b"mango"), 1000);
+        assert_eq!(idx.traverse_tm_k(b"mangoo"), 2000);
+        assert_eq!(idx.traverse_tm_k(b"apple"), 1000);
+        // Distinct heads decide without touching the arena...
+        let ties_before = idx.head_tie_fallbacks();
+        idx.traverse_tm_k(b"zebra");
+        assert_eq!(idx.head_tie_fallbacks(), ties_before, "\"zebr\" != \"mang\" needs no tie");
+        // ...while a shared head forces the fallback.
+        idx.traverse_tm_k(b"mangZ");
+        assert!(idx.head_tie_fallbacks() > ties_before);
+
+        assert!(idx.replace_child_k(b"aaa", leaf_ref(1000), leaf_ref(5000)));
+        assert_eq!(idx.traverse_tm_k(b"mango"), 5000);
+        assert!(!idx.replace_child_k(b"aaa", leaf_ref(1000), leaf_ref(7000)));
+    }
+
+    #[test]
+    fn byte_keyed_sequential_splits_match_model_with_cache() {
+        let idx = InnerIndex::new_bytes(leaf_ref(1000));
+        idx.attach_cache(Arc::new(PageCache::new(64, None)));
+        // Keys "k000".."k149" with heavy head sharing ("k0xx" etc.): carve
+        // 150 leaves right-to-left like the u64 test.
+        let keys: Vec<Vec<u8>> = (0..150u32).map(|i| format!("k{i:03}").into_bytes()).collect();
+        for i in (1..keys.len()).rev() {
+            idx.tree_update_k(&keys[i - 1], leaf_ref((i as u64 + 1) * 1000));
+        }
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        for probe in &refs {
+            let expect = route_model(&refs, probe);
+            assert_eq!(idx.traverse_cached_k(probe), expect, "probe {probe:?}");
+            assert_eq!(idx.traverse_tm_k(probe), expect);
+        }
+        // In-between and out-of-range probes.
+        assert_eq!(idx.traverse_cached_k(b"k0005"), route_model(&refs, b"k0005"));
+        assert_eq!(idx.traverse_cached_k(b""), 1000);
+        assert_eq!(idx.traverse_cached_k(b"zz"), 150 * 1000);
     }
 
     #[test]

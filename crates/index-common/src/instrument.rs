@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use obs::{ObsSource, OpHistograms, OpType, Recorder, Section};
 
-use crate::{Key, OpError, PersistentIndex, TreeStats, Value};
+use crate::{Key, KeyBuf, KeyRef, OpError, PersistentIndex, TreeStats, Value};
 
 /// A [`PersistentIndex`] wrapper that records per-op latency.
 ///
@@ -91,6 +91,42 @@ impl<T: PersistentIndex> PersistentIndex for Instrumented<T> {
 
     fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
         self.timed(OpType::InsertBatch, |t| t.insert_batch(batch))
+    }
+
+    fn supports_var_keys(&self) -> bool {
+        self.inner.supports_var_keys()
+    }
+
+    fn insert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        self.timed(OpType::Insert, |t| t.insert_k(key, value))
+    }
+
+    fn update_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        self.timed(OpType::Update, |t| t.update_k(key, value))
+    }
+
+    fn upsert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        self.timed(OpType::Upsert, |t| t.upsert_k(key, value))
+    }
+
+    fn remove_k(&self, key: KeyRef<'_>) -> Result<(), OpError> {
+        self.timed(OpType::Remove, |t| t.remove_k(key))
+    }
+
+    fn find_k(&self, key: KeyRef<'_>) -> Option<Value> {
+        self.timed(OpType::Search, |t| t.find_k(key))
+    }
+
+    fn scan_k(&self, start: KeyRef<'_>, n: usize, out: &mut Vec<(KeyBuf, Value)>) -> usize {
+        self.timed(OpType::Scan, |t| t.scan_k(start, n, out))
+    }
+
+    fn load_sorted_k(&self, pairs: &[(KeyBuf, Value)]) -> Result<(), OpError> {
+        self.timed(OpType::LoadSorted, |t| t.load_sorted_k(pairs))
+    }
+
+    fn insert_batch_k(&self, batch: &mut [(KeyBuf, Value)]) -> Vec<Result<(), OpError>> {
+        self.timed(OpType::InsertBatch, |t| t.insert_batch_k(batch))
     }
 
     fn name(&self) -> &'static str {

@@ -6,6 +6,10 @@
 //! shared layer:
 //!
 //! * [`Key`] / [`Value`] — the 8-byte key-value model every tree stores.
+//! * [`KeyBuf`] / [`KeyRef`] / [`KeyCodec`] — the byte-comparable
+//!   variable-length key layer over it: typed keys map into lexicographic
+//!   byte strings through an order-preserving codec ([`U64Key`] for the
+//!   8-byte model), and every index API has `*_k` byte-key counterparts.
 //! * [`InnerIndex`] — the volatile (DRAM) internal-node tree mapping keys to
 //!   leaf-node offsets in persistent memory. It offers the two HTM functions
 //!   of the paper's Table 2 that concern internal nodes —
@@ -23,12 +27,14 @@
 
 mod inner;
 mod instrument;
+mod key;
 mod sharded;
 mod traits;
 
 pub use inner::{DescentStats, InnerIndex, INNER_FANOUT};
 pub use instrument::Instrumented;
-pub use sharded::{shard_of, ShardedIndex};
+pub use key::{key_head, lcp, KeyBuf, KeyCodec, KeyRef, U64Key, MAX_KEY_LEN};
+pub use sharded::{shard_of, shard_of_bytes, ShardedIndex};
 pub use traits::{OpError, PersistentIndex, RecoverableIndex, TreeStats};
 
 /// Key type: 64-bit, as in the paper's YCSB-style evaluation.

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use nvm::PmemPool;
 
-use crate::{Key, OpError, PersistentIndex, RecoverableIndex, TreeStats, Value};
+use crate::{Key, KeyBuf, KeyRef, OpError, PersistentIndex, RecoverableIndex, TreeStats, Value};
 
 /// Routes `key` to its home shard among `shards` partitions.
 ///
@@ -52,6 +52,29 @@ pub fn shard_of(key: Key, shards: usize) -> usize {
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
     (x % shards as u64) as usize
+}
+
+/// Routes a byte-string key to its home shard among `shards` partitions.
+///
+/// **Agrees with [`shard_of`] on u64-encoded keys**: an 8-byte key is
+/// decoded big-endian and routed exactly as its `u64` would be, so a key
+/// written through the typed API and read through the byte API (or vice
+/// versa) always lands on the same shard. Other lengths are routed by an
+/// FNV-1a hash fed through the same SplitMix64 finalizer.
+///
+/// # Panics
+/// Panics (in debug, via modulo-by-zero) if `shards == 0`.
+#[inline]
+pub fn shard_of_bytes(key: KeyRef<'_>, shards: usize) -> usize {
+    if let Ok(arr) = <[u8; 8]>::try_from(key) {
+        return shard_of(u64::from_be_bytes(arr), shards);
+    }
+    let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    shard_of(h, shards)
 }
 
 /// N independent persistent trees composed into one [`PersistentIndex`].
@@ -83,6 +106,11 @@ impl<T: PersistentIndex> ShardedIndex<T> {
     /// The shard that owns `key`.
     pub fn shard_for(&self, key: Key) -> &T {
         &self.shards[shard_of(key, self.shards.len())]
+    }
+
+    /// The shard that owns the byte-string `key` (see [`shard_of_bytes`]).
+    pub fn shard_for_bytes(&self, key: KeyRef<'_>) -> &T {
+        &self.shards[shard_of_bytes(key, self.shards.len())]
     }
 
     /// The `i`-th shard tree (for tests and per-shard introspection).
@@ -320,6 +348,124 @@ impl<T: PersistentIndex> PersistentIndex for ShardedIndex<T> {
         outcomes.into_iter().flatten().collect()
     }
 
+    fn supports_var_keys(&self) -> bool {
+        self.shards.iter().all(|s| s.supports_var_keys())
+    }
+
+    fn insert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        self.shard_for_bytes(key).insert_k(key, value)
+    }
+
+    fn update_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        self.shard_for_bytes(key).update_k(key, value)
+    }
+
+    fn upsert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        self.shard_for_bytes(key).upsert_k(key, value)
+    }
+
+    fn remove_k(&self, key: KeyRef<'_>) -> Result<(), OpError> {
+        self.shard_for_bytes(key).remove_k(key)
+    }
+
+    fn find_k(&self, key: KeyRef<'_>) -> Option<Value> {
+        self.shard_for_bytes(key).find_k(key)
+    }
+
+    /// Byte-key analogue of [`ShardedIndex::scan_n`]'s k-way merge: each
+    /// shard contributes its first `n` pairs ≥ `start` in lexicographic
+    /// order, merged on a min-heap of owned [`KeyBuf`]s. Keys stay unique
+    /// across shards (one home per key), so ties cannot occur.
+    fn scan_k(&self, start: KeyRef<'_>, n: usize, out: &mut Vec<(KeyBuf, Value)>) -> usize {
+        out.clear();
+        if n == 0 {
+            return 0;
+        }
+        let k = self.shards.len();
+        let mut bufs: Vec<Vec<(KeyBuf, Value)>> = Vec::with_capacity(k);
+        for s in &self.shards {
+            let mut buf = Vec::new();
+            s.scan_k(start, n, &mut buf);
+            bufs.push(buf);
+        }
+        let mut pos = vec![0usize; k];
+        let mut heap: BinaryHeap<Reverse<(KeyBuf, usize)>> = BinaryHeap::with_capacity(k);
+        for (i, buf) in bufs.iter().enumerate() {
+            if let Some(&(key, _)) = buf.first() {
+                heap.push(Reverse((key, i)));
+            }
+        }
+        while out.len() < n {
+            let Some(Reverse((_, i))) = heap.pop() else { break };
+            out.push(bufs[i][pos[i]]);
+            pos[i] += 1;
+            if let Some(&(key, _)) = bufs[i].get(pos[i]) {
+                heap.push(Reverse((key, i)));
+            }
+        }
+        out.len()
+    }
+
+    /// Byte-key bulk load: partitions by [`shard_of_bytes`] and loads the
+    /// non-empty shards in parallel, mirroring [`ShardedIndex::load_sorted`].
+    fn load_sorted_k(&self, pairs: &[(KeyBuf, Value)]) -> Result<(), OpError> {
+        let n = self.shards.len();
+        if n == 1 {
+            return self.shards[0].load_sorted_k(pairs);
+        }
+        let mut parts: Vec<Vec<(KeyBuf, Value)>> = vec![Vec::new(); n];
+        for &(k, v) in pairs {
+            parts[shard_of_bytes(k.as_slice(), n)].push((k, v));
+        }
+        let loaded: Vec<Result<(), OpError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&parts)
+                .filter(|(_, part)| !part.is_empty())
+                .map(|(shard, part)| scope.spawn(move || shard.load_sorted_k(part)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard load thread panicked")).collect()
+        });
+        loaded.into_iter().collect()
+    }
+
+    /// Byte-key batched insert: shard-partitioned like
+    /// [`ShardedIndex::insert_batch`], with the same slice-rewrite and
+    /// reporting contract.
+    fn insert_batch_k(&self, batch: &mut [(KeyBuf, Value)]) -> Vec<Result<(), OpError>> {
+        let n = self.shards.len();
+        if n == 1 {
+            return self.shards[0].insert_batch_k(batch);
+        }
+        let mut parts: Vec<Vec<(KeyBuf, Value)>> = vec![Vec::new(); n];
+        for &(k, v) in batch.iter() {
+            parts[shard_of_bytes(k.as_slice(), n)].push((k, v));
+        }
+        let parallel = batch.len() >= 64 * n && std::thread::available_parallelism().map_or(1, |p| p.get()) > 1;
+        let outcomes: Vec<Vec<Result<(), OpError>>> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .zip(parts.iter_mut())
+                    .map(|(shard, part)| scope.spawn(move || shard.insert_batch_k(part)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard batch thread panicked")).collect()
+            })
+        } else {
+            self.shards.iter().zip(parts.iter_mut()).map(|(s, p)| s.insert_batch_k(p)).collect()
+        };
+        let mut w = 0usize;
+        for part in &parts {
+            for &kv in part {
+                batch[w] = kv;
+                w += 1;
+            }
+        }
+        outcomes.into_iter().flatten().collect()
+    }
+
     fn name(&self) -> &'static str {
         "Sharded"
     }
@@ -455,6 +601,44 @@ mod tests {
             // Perfectly uniform would be 1000 per shard; accept ±25%.
             assert!((750..=1250).contains(&c), "skewed shard histogram: {counts:?}");
         }
+    }
+
+    #[test]
+    fn byte_routing_agrees_with_u64_routing_on_encoded_keys() {
+        use crate::{KeyCodec, U64Key};
+        for shards in [1usize, 2, 5, 8] {
+            for key in (0..2000u64).step_by(7) {
+                assert_eq!(
+                    shard_of_bytes(U64Key::encode(key).as_slice(), shards),
+                    shard_of(key, shards),
+                    "key {key} would migrate between the typed and byte APIs"
+                );
+            }
+            // Non-8-byte keys route deterministically and in range.
+            for key in [&b""[..], b"a", b"url/key", b"0000000000012345"] {
+                let s = shard_of_bytes(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_bytes(key, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_ops_and_scan_merge_through_the_codec_defaults() {
+        use crate::{KeyCodec, U64Key};
+        let idx = sharded(3);
+        for k in (0..300u64).step_by(3) {
+            idx.insert_k(U64Key::encode(k).as_slice(), k + 1).unwrap();
+        }
+        assert_eq!(idx.find(42), Some(43), "byte writes visible to typed reads");
+        assert_eq!(idx.find_k(U64Key::encode(42).as_slice()), Some(43));
+        let mut out = Vec::new();
+        assert_eq!(idx.scan_k(&[][..], 5, &mut out), 5);
+        let got: Vec<u64> =
+            out.iter().map(|(k, _)| U64Key::decode(k.as_slice()).unwrap()).collect();
+        assert_eq!(got, vec![0, 3, 6, 9, 12], "merge must be globally ordered");
+        assert_eq!(idx.insert_k(b"odd", 1), Err(OpError::UnsupportedKey));
+        assert!(!idx.supports_var_keys());
     }
 
     #[test]

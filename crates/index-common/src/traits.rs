@@ -5,7 +5,7 @@ use std::sync::Arc;
 use nvm::PmemPool;
 use obs::{Json, ToJson};
 
-use crate::{Key, Value};
+use crate::{Key, KeyBuf, KeyCodec, KeyRef, U64Key, Value};
 
 /// Errors surfaced by conditional operations (paper §3.3: *conditional
 /// write* — insert fails on a duplicate key, update/remove fail on a missing
@@ -18,6 +18,11 @@ pub enum OpError {
     NotFound,
     /// The persistent pool is out of leaf blocks.
     PoolExhausted,
+    /// A byte-key (`*_k`) operation was given a key this index cannot
+    /// represent — e.g. a non-8-byte key on an index that only stores
+    /// `u64`-encoded keys ([`PersistentIndex::supports_var_keys`] is
+    /// `false`).
+    UnsupportedKey,
 }
 
 impl std::fmt::Display for OpError {
@@ -26,6 +31,7 @@ impl std::fmt::Display for OpError {
             OpError::AlreadyExists => write!(f, "key already exists"),
             OpError::NotFound => write!(f, "key not found"),
             OpError::PoolExhausted => write!(f, "persistent pool exhausted"),
+            OpError::UnsupportedKey => write!(f, "key not representable by this index"),
         }
     }
 }
@@ -154,6 +160,104 @@ pub trait PersistentIndex: Send + Sync {
         batch.iter().map(|&(k, v)| self.insert(k, v)).collect()
     }
 
+    // ------------------------------------------------------------------
+    // Byte-key (`*_k`) counterparts.
+    //
+    // Every point/range/bulk operation also exists over byte-comparable
+    // [`KeyRef`] keys. The provided defaults route through the [`U64Key`]
+    // codec — an index that only stores u64 keys serves any 8-byte key
+    // verbatim and rejects other lengths with [`OpError::UnsupportedKey`]
+    // — so all five trees gained the byte API without touching their
+    // layouts. Indexes with a native variable-length layout (RNTree with
+    // `varlen_leaves`) override these and set
+    // [`PersistentIndex::supports_var_keys`].
+    // ------------------------------------------------------------------
+
+    /// Whether this index stores arbitrary-length byte keys natively.
+    /// `false` means the `*_k` methods only accept 8-byte (`u64`-encoded)
+    /// keys.
+    fn supports_var_keys(&self) -> bool {
+        false
+    }
+
+    /// Byte-key conditional insert ([`PersistentIndex::insert`]).
+    fn insert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        let k = U64Key::decode(key).ok_or(OpError::UnsupportedKey)?;
+        self.insert(k, value)
+    }
+
+    /// Byte-key conditional update ([`PersistentIndex::update`]).
+    fn update_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        let k = U64Key::decode(key).ok_or(OpError::UnsupportedKey)?;
+        self.update(k, value)
+    }
+
+    /// Byte-key upsert ([`PersistentIndex::upsert`]).
+    fn upsert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        let k = U64Key::decode(key).ok_or(OpError::UnsupportedKey)?;
+        self.upsert(k, value)
+    }
+
+    /// Byte-key remove ([`PersistentIndex::remove`]).
+    fn remove_k(&self, key: KeyRef<'_>) -> Result<(), OpError> {
+        let k = U64Key::decode(key).ok_or(OpError::UnsupportedKey)?;
+        self.remove(k)
+    }
+
+    /// Byte-key point lookup ([`PersistentIndex::find`]). A key this index
+    /// cannot represent is simply absent (`None`).
+    fn find_k(&self, key: KeyRef<'_>) -> Option<Value> {
+        self.find(U64Key::decode(key)?)
+    }
+
+    /// Byte-key range query ([`PersistentIndex::scan_n`]): up to `n` pairs
+    /// with key ≥ `start` in lexicographic order. `start` may be *any*
+    /// byte string (it is a bound, not a stored key): the u64-backed
+    /// default rounds it up to the smallest representable key.
+    fn scan_k(&self, start: KeyRef<'_>, n: usize, out: &mut Vec<(KeyBuf, Value)>) -> usize {
+        out.clear();
+        // Smallest u64 whose 8-byte encoding is >= `start` byte-wise:
+        // start.len() <= 8  → zero-pad (extensions of a prefix sort after it);
+        // start.len() >  8  → the 8-byte prefix + 1 (encodings are shorter,
+        //                     so they must beat the prefix strictly).
+        let from = if start.len() <= 8 {
+            let mut p = [0u8; 8];
+            p[..start.len()].copy_from_slice(start);
+            u64::from_be_bytes(p)
+        } else {
+            let p = u64::from_be_bytes(start[..8].try_into().expect("8-byte prefix"));
+            match p.checked_add(1) {
+                Some(next) => next,
+                None => return 0,
+            }
+        };
+        let mut tmp = Vec::with_capacity(n);
+        self.scan_n(from, n, &mut tmp);
+        out.extend(tmp.into_iter().map(|(k, v)| (U64Key::encode(k), v)));
+        out.len()
+    }
+
+    /// Byte-key bulk load ([`PersistentIndex::load_sorted`] semantics:
+    /// empty index, duplicates resolved last-wins).
+    fn load_sorted_k(&self, pairs: &[(KeyBuf, Value)]) -> Result<(), OpError> {
+        let mut sorted = pairs.to_vec();
+        sorted.sort_by_key(|p| p.0); // stable: last duplicate wins
+        for (k, v) in &sorted {
+            self.upsert_k(k.as_slice(), *v)?;
+        }
+        Ok(())
+    }
+
+    /// Byte-key batched conditional insert ([`PersistentIndex::insert_batch`]
+    /// semantics: sorted in place, per-key outcomes, first duplicate wins).
+    fn insert_batch_k(&self, batch: &mut [(KeyBuf, Value)]) -> Vec<Result<(), OpError>> {
+        batch.sort_by_key(|p| p.0);
+        batch
+            .iter()
+            .map(|(k, v)| self.insert_k(k.as_slice(), *v))
+            .collect()
+    }
+
     /// Short name for benchmark tables ("RNTree", "FPTree", …).
     fn name(&self) -> &'static str;
 
@@ -200,6 +304,33 @@ impl<P: PersistentIndex + ?Sized> PersistentIndex for Arc<P> {
     }
     fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
         (**self).insert_batch(batch)
+    }
+    fn supports_var_keys(&self) -> bool {
+        (**self).supports_var_keys()
+    }
+    fn insert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        (**self).insert_k(key, value)
+    }
+    fn update_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        (**self).update_k(key, value)
+    }
+    fn upsert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        (**self).upsert_k(key, value)
+    }
+    fn remove_k(&self, key: KeyRef<'_>) -> Result<(), OpError> {
+        (**self).remove_k(key)
+    }
+    fn find_k(&self, key: KeyRef<'_>) -> Option<Value> {
+        (**self).find_k(key)
+    }
+    fn scan_k(&self, start: KeyRef<'_>, n: usize, out: &mut Vec<(KeyBuf, Value)>) -> usize {
+        (**self).scan_k(start, n, out)
+    }
+    fn load_sorted_k(&self, pairs: &[(KeyBuf, Value)]) -> Result<(), OpError> {
+        (**self).load_sorted_k(pairs)
+    }
+    fn insert_batch_k(&self, batch: &mut [(KeyBuf, Value)]) -> Vec<Result<(), OpError>> {
+        (**self).insert_batch_k(batch)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -266,5 +397,77 @@ mod tests {
         assert_eq!(OpError::AlreadyExists.to_string(), "key already exists");
         assert_eq!(OpError::NotFound.to_string(), "key not found");
         assert_eq!(OpError::PoolExhausted.to_string(), "persistent pool exhausted");
+        assert_eq!(
+            OpError::UnsupportedKey.to_string(),
+            "key not representable by this index"
+        );
+    }
+
+    /// A toy u64-only index to pin down the `*_k` defaults.
+    struct Toy(std::sync::Mutex<std::collections::BTreeMap<Key, Value>>);
+
+    impl PersistentIndex for Toy {
+        fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+            let mut m = self.0.lock().unwrap();
+            if m.contains_key(&key) {
+                return Err(OpError::AlreadyExists);
+            }
+            m.insert(key, value);
+            Ok(())
+        }
+        fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+            let mut m = self.0.lock().unwrap();
+            m.get_mut(&key).map(|v| *v = value).ok_or(OpError::NotFound)
+        }
+        fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+            self.0.lock().unwrap().insert(key, value);
+            Ok(())
+        }
+        fn remove(&self, key: Key) -> Result<(), OpError> {
+            self.0.lock().unwrap().remove(&key).map(|_| ()).ok_or(OpError::NotFound)
+        }
+        fn find(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+            out.clear();
+            out.extend(self.0.lock().unwrap().range(start..).take(n).map(|(k, v)| (*k, *v)));
+            out.len()
+        }
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+        fn stats(&self) -> TreeStats {
+            TreeStats::default()
+        }
+    }
+
+    #[test]
+    fn default_byte_key_methods_route_through_the_u64_codec() {
+        let t = Toy(std::sync::Mutex::new(Default::default()));
+        assert!(!t.supports_var_keys());
+        let k5 = U64Key::encode(5);
+        t.insert_k(k5.as_slice(), 50).unwrap();
+        assert_eq!(t.find(5), Some(50), "8-byte keys hit the u64 store");
+        assert_eq!(t.find_k(k5.as_slice()), Some(50));
+        assert_eq!(t.insert_k(b"short", 1), Err(OpError::UnsupportedKey));
+        assert_eq!(t.update_k(b"way too long key!", 1), Err(OpError::UnsupportedKey));
+        assert_eq!(t.find_k(b"short"), None);
+
+        t.upsert(7, 70).unwrap();
+        let mut out = Vec::new();
+        // A 1-byte zero start rounds down to u64 0: sees everything.
+        assert_eq!(t.scan_k(&[0][..], 10, &mut out), 2);
+        assert_eq!(out[0].0, U64Key::encode(5));
+        // A start strictly above encode(5) skips key 5.
+        let mut above5 = k5;
+        above5 = above5.successor().unwrap();
+        assert_eq!(t.scan_k(above5.as_slice(), 10, &mut out), 1);
+        assert_eq!(out[0].0, U64Key::encode(7));
+        // A >8-byte start rounds up past its 8-byte prefix.
+        let mut long = [0u8; 9];
+        long[..8].copy_from_slice(U64Key::encode(6).as_slice());
+        assert_eq!(t.scan_k(&long[..], 10, &mut out), 1);
+        assert_eq!(out[0].0, U64Key::encode(7));
     }
 }

@@ -24,7 +24,7 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use crate::layout::{LEAF_BLOCK, LEAF_CAPACITY};
+use crate::layout::LEAF_CAPACITY;
 use crate::leaf::Leaf;
 use crate::slots::SlotBuf;
 
@@ -35,20 +35,36 @@ pub(crate) fn fp_hash(key: u64) -> u8 {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8
 }
 
+/// Byte-string fingerprint (variable-length keys): FNV-1a over the bytes,
+/// then the same Fibonacci fold down to the top byte. Deliberately *not*
+/// `fp_hash(key_head(k))`: string workloads share 4-byte heads heavily,
+/// and the fingerprint's whole job is to disambiguate beyond the head.
+#[inline]
+pub(crate) fn fp_hash_bytes(key: &[u8]) -> u8 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8
+}
+
 /// Per-tree fingerprint table: `LEAF_CAPACITY` bytes for every leaf block
 /// in the pool's leaf region, indexed by block offset.
 pub(crate) struct FpTable {
     /// First byte of the leaf region (block offsets are relative to this).
     base: u64,
+    /// Leaf block stride (`LEAF_BLOCK` or `VAR_LEAF_BLOCK`).
+    block: u64,
     bytes: Box<[AtomicU8]>,
 }
 
 impl FpTable {
-    /// Table covering leaf blocks in `[base, pool_len)`. With `enabled`
-    /// false an empty table is built (no memory, no probes).
-    pub(crate) fn new(base: u64, pool_len: u64, enabled: bool) -> FpTable {
+    /// Table covering `block`-sized leaf blocks in `[base, pool_len)`. With
+    /// `enabled` false an empty table is built (no memory, no probes).
+    pub(crate) fn new(base: u64, pool_len: u64, block: u64, enabled: bool) -> FpTable {
         let blocks = if enabled {
-            ((pool_len - base) / LEAF_BLOCK) as usize
+            ((pool_len - base) / block) as usize
         } else {
             0
         };
@@ -56,6 +72,7 @@ impl FpTable {
         v.resize_with(blocks * LEAF_CAPACITY, || AtomicU8::new(0));
         FpTable {
             base,
+            block,
             bytes: v.into_boxed_slice(),
         }
     }
@@ -63,8 +80,8 @@ impl FpTable {
     #[inline]
     fn idx(&self, leaf_off: u64, entry: usize) -> usize {
         debug_assert!(leaf_off >= self.base && entry < LEAF_CAPACITY);
-        debug_assert_eq!((leaf_off - self.base) % LEAF_BLOCK, 0);
-        ((leaf_off - self.base) / LEAF_BLOCK) as usize * LEAF_CAPACITY + entry
+        debug_assert_eq!((leaf_off - self.base) % self.block, 0);
+        ((leaf_off - self.base) / self.block) as usize * LEAF_CAPACITY + entry
     }
 
     /// Records the fingerprint of the key now stored in `entry`. Called by
@@ -82,8 +99,21 @@ impl FpTable {
     /// snapshot, so a miss needs zero key reads).
     #[inline]
     pub(crate) fn probe(&self, leaf: &Leaf<'_>, slot: &SlotBuf, key: u64) -> Option<usize> {
-        let want = fp_hash(key);
-        let base = self.idx(leaf.off(), 0);
+        self.probe_with(leaf.off(), slot, fp_hash(key), |e| leaf.read_key(e) == key)
+    }
+
+    /// The probe loop with an arbitrary key-equality check on the entry
+    /// index — the variable-length leaf confirms hits by reconstructing
+    /// the stored key from its heap instead of one `read_key` word.
+    #[inline]
+    pub(crate) fn probe_with(
+        &self,
+        leaf_off: u64,
+        slot: &SlotBuf,
+        want: u8,
+        key_eq: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let base = self.idx(leaf_off, 0);
         let fps: &[AtomicU8; LEAF_CAPACITY] = self.bytes[base..base + LEAF_CAPACITY]
             .try_into()
             .expect("leaf fingerprint stripe");
@@ -92,7 +122,7 @@ impl FpTable {
             // Masked index: entries are < LEAF_CAPACITY by leaf invariant,
             // and the fixed-size array + mask lets the scan run without a
             // bounds-check branch per probe.
-            if fps[e & (LEAF_CAPACITY - 1)].load(Ordering::Relaxed) == want && leaf.read_key(e) == key {
+            if fps[e & (LEAF_CAPACITY - 1)].load(Ordering::Relaxed) == want && key_eq(e) {
                 return Some(pos);
             }
         }
@@ -135,6 +165,7 @@ impl FpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::LEAF_BLOCK;
     use nvm::{PmemConfig, PmemPool};
 
     #[test]
@@ -160,7 +191,7 @@ mod tests {
         slot.insert_at(0, 2);
         slot.insert_at(1, 0);
         slot.insert_at(2, 1);
-        let t = FpTable::new(0, 1 << 16, true);
+        let t = FpTable::new(0, 1 << 16, LEAF_BLOCK, true);
         t.rebuild_leaf(&leaf, &slot);
         assert_eq!(t.probe(&leaf, &slot, 10), Some(0));
         assert_eq!(t.probe(&leaf, &slot, 20), Some(1));
@@ -181,7 +212,7 @@ mod tests {
             leaf.write_kv(i, *k, k * 10);
             slot.insert_at(i, i);
         }
-        let t = FpTable::new(0, 1 << 16, true);
+        let t = FpTable::new(0, 1 << 16, LEAF_BLOCK, true);
         let clash = fp_hash(7);
         for e in 0..3 {
             t.set(0, e, clash);
@@ -192,7 +223,20 @@ mod tests {
 
     #[test]
     fn disabled_table_is_empty() {
-        let t = FpTable::new(0, 1 << 20, false);
+        let t = FpTable::new(0, 1 << 20, LEAF_BLOCK, false);
         assert!(t.is_disabled());
+    }
+
+    #[test]
+    fn fp_hash_bytes_disambiguates_shared_heads() {
+        // Keys sharing a 4-byte head must still spread over the byte
+        // range — the head is exactly what the fingerprint must beat.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            seen.insert(fp_hash_bytes(format!("user00000000{i:03}").as_bytes()));
+        }
+        assert!(seen.len() > 150, "only {} distinct fingerprints", seen.len());
+        assert_eq!(fp_hash_bytes(b""), fp_hash_bytes(b""));
+        assert_ne!(fp_hash_bytes(b"a"), fp_hash_bytes(b"b"));
     }
 }

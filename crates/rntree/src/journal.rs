@@ -16,14 +16,25 @@ impl SplitJournal {
     /// Creates the runtime handle for a journal region (leaf-block-sized
     /// images). Call [`SplitJournal::format`] once at pool creation.
     pub fn new(region: u64, slots: usize) -> Self {
+        Self::new_sized(region, slots, LEAF_BLOCK)
+    }
+
+    /// As [`SplitJournal::new`], but with an explicit image size — the
+    /// variable-length leaf layout journals 4096-byte nodes.
+    pub fn new_sized(region: u64, slots: usize, image: u64) -> Self {
         SplitJournal {
-            inner: UndoJournal::new(region, slots, LEAF_BLOCK),
+            inner: UndoJournal::new(region, slots, image),
         }
     }
 
     /// Total bytes the journal occupies for `slots` entries.
     pub fn region_bytes(slots: usize) -> u64 {
         UndoJournal::region_bytes(slots, LEAF_BLOCK)
+    }
+
+    /// As [`SplitJournal::region_bytes`] with an explicit image size.
+    pub fn region_bytes_sized(slots: usize, image: u64) -> u64 {
+        UndoJournal::region_bytes(slots, image)
     }
 
     /// Formats (invalidates) every slot; pool creation only.

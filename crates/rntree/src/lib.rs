@@ -62,6 +62,8 @@ mod recovery;
 mod report;
 mod slots;
 mod tree;
+mod varleaf;
+mod vartree;
 mod version;
 
 pub use journal::SplitJournal;

@@ -20,14 +20,17 @@
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 
-use index_common::{leaf_ref, InnerIndex, Key};
+use index_common::{leaf_ref, InnerIndex, Key, KeyBuf};
 use nvm::{PageCache, PmemPool, RootTable};
 use obs::{EventKind, PhaseTimers};
 
-use crate::fingerprint::FpTable;
+use crate::fingerprint::{fp_hash_bytes, FpTable};
+use crate::layout::varlen::{round8, vfield};
 use crate::layout::LEAF_CAPACITY;
 use crate::leaf::{Leaf, WhichSlot};
 use crate::tree::{roots, RnConfig, RnTree, MAGIC};
+use crate::varleaf::VarLeaf;
+use crate::vartree::KEY_TOP;
 
 impl RnTree {
     /// Formats `pool` with a fresh, empty RNTree.
@@ -36,17 +39,27 @@ impl RnTree {
         journal.format(&pool);
 
         let first = alloc.alloc().expect("pool too small for one leaf");
-        Leaf::at(&pool, first).init_empty(u64::MAX, 0);
+        if cfg.varlen_leaves {
+            // Empty low fence, +∞ high fence: the leaf covers everything.
+            VarLeaf::at(&pool, first).init_empty(&[], None, 0);
+        } else {
+            Leaf::at(&pool, first).init_empty(u64::MAX, 0);
+        }
 
         RootTable::set_volatile(&pool, roots::LEFTMOST, first);
         RootTable::set_volatile(&pool, roots::MAGIC, MAGIC);
         RootTable::set_volatile(&pool, roots::JOURNAL_SLOTS, cfg.journal_slots as u64);
         RootTable::set_volatile(&pool, roots::LEAF_REGION, Self::leaf_region_start(&cfg));
+        RootTable::set_volatile(&pool, roots::VARLEN, cfg.varlen_leaves as u64);
         RootTable::set_volatile(&pool, roots::CLEAN, 0);
         RootTable::persist(&pool);
 
-        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
-        let index = InnerIndex::new(leaf_ref(first));
+        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), Self::leaf_block(&cfg), cfg.fingerprints);
+        let index = if cfg.varlen_leaves {
+            InnerIndex::new_bytes(leaf_ref(first))
+        } else {
+            InnerIndex::new(leaf_ref(first))
+        };
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         index.domain().set_striped_fallback(cfg.striped_fallback);
         if cfg.cache_frames > 0 {
@@ -67,6 +80,7 @@ impl RnTree {
             retries: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
+            leaf_head_ties: AtomicU64::new(0),
             timers: PhaseTimers::new(),
         }
     }
@@ -77,6 +91,11 @@ impl RnTree {
             RootTable::get(pool, roots::JOURNAL_SLOTS),
             cfg.journal_slots as u64,
             "journal_slots mismatch with on-pool layout"
+        );
+        assert_eq!(
+            RootTable::get(pool, roots::VARLEN),
+            cfg.varlen_leaves as u64,
+            "varlen_leaves mismatch with on-pool layout"
         );
     }
 
@@ -94,13 +113,19 @@ impl RnTree {
         }
         pool.events().record(EventKind::RecoveryJournal, rolled_back.len() as u64, 0);
 
-        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
+        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), Self::leaf_block(&cfg), cfg.fingerprints);
         let leftmost = RootTable::get(&pool, roots::LEFTMOST);
         let mut reachable = Vec::new();
         let mut pairs: Vec<(Key, u64)> = Vec::new();
+        let mut routes: Vec<(KeyBuf, u64)> = Vec::new();
         let mut off = leftmost;
         while off != 0 {
             reachable.push(off);
+            if cfg.varlen_leaves {
+                Self::recover_var_leaf(&pool, &fps, off, &mut routes);
+                off = VarLeaf::at(&pool, off).next();
+                continue;
+            }
             let leaf = Leaf::at(&pool, off);
             leaf.reset_lockver();
             let slot = leaf.read_slot_seq(WhichSlot::Persistent);
@@ -122,13 +147,17 @@ impl RnTree {
             }
             off = leaf.next();
         }
-        let entries: u64 = pairs.len() as u64;
+        let entries: u64 = (pairs.len() + routes.len()) as u64;
         pool.events().record(EventKind::RecoveryLeafChain, reachable.len() as u64, entries);
         alloc.rebuild(&reachable);
         pool.events().record(EventKind::RecoveryAlloc, reachable.len() as u64, 0);
         RootTable::set(&pool, roots::CLEAN, 0);
 
-        let index = InnerIndex::new(leaf_ref(leftmost));
+        let index = if cfg.varlen_leaves {
+            InnerIndex::new_bytes(leaf_ref(leftmost))
+        } else {
+            InnerIndex::new(leaf_ref(leftmost))
+        };
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         index.domain().set_striped_fallback(cfg.striped_fallback);
         if cfg.cache_frames > 0 {
@@ -136,7 +165,9 @@ impl RnTree {
             // recovery must never trust (or rebuild from) its contents.
             index.attach_cache(Arc::new(PageCache::new(cfg.cache_frames, Some(pool.events_handle()))));
         }
-        if !pairs.is_empty() {
+        if !routes.is_empty() {
+            index.bulk_build_k(&routes);
+        } else if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
         pool.events().record(EventKind::RecoveryIndex, entries, 0);
@@ -153,8 +184,61 @@ impl RnTree {
             retries: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
+            leaf_head_ties: AtomicU64::new(0),
             timers: PhaseTimers::new(),
         }
+    }
+
+    /// Per-leaf crash-recovery reset for the variable-length layout: the
+    /// same scratch rebuild as the u64 path (lock word, `nlogs`/`plogs`
+    /// from the persistent slot array, transient slot copy, fingerprints)
+    /// plus a `heap_used` recompute — heap reservations are plain DRAM-side
+    /// counter bumps, so after a crash the durable word may still count
+    /// reservations whose records never published; the high-water mark of
+    /// the *referenced* records (floored at the fence region) is the
+    /// correct value and reclaims every unpublished reservation.
+    ///
+    /// Routing is by the **high fence**, and *empty* leaves are included:
+    /// a var leaf's keys are prefix-truncated against its own fence
+    /// metadata, so lookups must land on exactly the leaf whose range
+    /// covers the key, not merely one whose max stored key is close. The
+    /// rightmost (+∞-fenced) leaf routes under [`KEY_TOP`], the maximum
+    /// representable key.
+    fn recover_var_leaf(pool: &PmemPool, fps: &FpTable, off: u64, routes: &mut Vec<(KeyBuf, u64)>) {
+        let leaf = VarLeaf::at(pool, off);
+        leaf.reset_lockver();
+        let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+        let nlogs = slot.iter().map(|e| e as u64 + 1).max().unwrap_or(0);
+        leaf.set_nlogs(nlogs);
+        leaf.set_plogs(nlogs);
+        leaf.write_slot_seq(WhichSlot::Transient, &slot);
+        let lf = leaf.low_fence();
+        let hf = leaf.high_fence();
+        let mut used = round8(lf.len() as u64) + hf.as_ref().map_or(0, |h| round8(h.len() as u64));
+        for e in slot.iter() {
+            let (_, rec_rel, suffix_len) = VarLeaf::decode_dir(leaf.dir_word(e));
+            used = used.max(rec_rel - vfield::HEAP + 8 + round8(suffix_len as u64));
+            if !fps.is_disabled() {
+                fps.set(off, e, fp_hash_bytes(leaf.key_of_entry(e).as_slice()));
+            }
+        }
+        leaf.set_heap_used(used);
+        routes.push((hf.unwrap_or(KeyBuf::from_slice(&KEY_TOP)), leaf_ref(off)));
+    }
+
+    /// As [`RnTree::recover_var_leaf`] but trusting the persisted header
+    /// (clean shutdown): only the transient scraps — tslot, fingerprints —
+    /// are rebuilt, and the same fence-based route is emitted.
+    fn reopen_var_leaf(pool: &PmemPool, fps: &FpTable, off: u64, routes: &mut Vec<(KeyBuf, u64)>) {
+        let leaf = VarLeaf::at(pool, off);
+        let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+        leaf.write_slot_seq(WhichSlot::Transient, &slot);
+        if !fps.is_disabled() {
+            for e in slot.iter() {
+                fps.set(off, e, fp_hash_bytes(leaf.key_of_entry(e).as_slice()));
+            }
+        }
+        routes.push((leaf.high_fence().unwrap_or(KeyBuf::from_slice(&KEY_TOP)), leaf_ref(off)));
     }
 
     /// Reconstruction after a clean shutdown ([`RnTree::close`]): trusts
@@ -171,13 +255,19 @@ impl RnTree {
         );
         let (alloc, journal) = Self::make_parts(&pool, &cfg);
 
-        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), cfg.fingerprints);
+        let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), Self::leaf_block(&cfg), cfg.fingerprints);
         let leftmost = RootTable::get(&pool, roots::LEFTMOST);
         let mut reachable = Vec::new();
         let mut pairs: Vec<(Key, u64)> = Vec::new();
+        let mut routes: Vec<(KeyBuf, u64)> = Vec::new();
         let mut off = leftmost;
         while off != 0 {
             reachable.push(off);
+            if cfg.varlen_leaves {
+                Self::reopen_var_leaf(&pool, &fps, off, &mut routes);
+                off = VarLeaf::at(&pool, off).next();
+                continue;
+            }
             let leaf = Leaf::at(&pool, off);
             let slot = leaf.read_slot_seq(WhichSlot::Persistent);
             leaf.write_slot_seq(WhichSlot::Transient, &slot);
@@ -193,7 +283,11 @@ impl RnTree {
         alloc.rebuild(&reachable);
         RootTable::set(&pool, roots::CLEAN, 0);
 
-        let index = InnerIndex::new(leaf_ref(leftmost));
+        let index = if cfg.varlen_leaves {
+            InnerIndex::new_bytes(leaf_ref(leftmost))
+        } else {
+            InnerIndex::new(leaf_ref(leftmost))
+        };
         index.set_legacy_seq_descent(cfg.legacy_seq_descent);
         index.domain().set_striped_fallback(cfg.striped_fallback);
         if cfg.cache_frames > 0 {
@@ -201,7 +295,9 @@ impl RnTree {
             // recovery must never trust (or rebuild from) its contents.
             index.attach_cache(Arc::new(PageCache::new(cfg.cache_frames, Some(pool.events_handle()))));
         }
-        if !pairs.is_empty() {
+        if !routes.is_empty() {
+            index.bulk_build_k(&routes);
+        } else if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
         RnTree {
@@ -217,6 +313,7 @@ impl RnTree {
             retries: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
+            leaf_head_ties: AtomicU64::new(0),
             timers: PhaseTimers::new(),
         }
     }

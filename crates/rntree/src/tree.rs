@@ -29,12 +29,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use htm::HtmStatsSnapshot;
-use index_common::{leaf_ref, InnerIndex, Key, OpError, PersistentIndex, TreeStats, Value};
+use index_common::{
+    leaf_ref, InnerIndex, Key, KeyBuf, KeyCodec, KeyRef, OpError, PersistentIndex, TreeStats,
+    U64Key, Value,
+};
 use nvm::{BlockAllocator, PmemPool, RootTable};
 use obs::{EventKind, ObsSource, Phase, PhaseTimers, Section};
 
 use crate::fingerprint::{fp_hash, FpTable};
 use crate::journal::SplitJournal;
+use crate::layout::varlen::VAR_LEAF_BLOCK;
 use crate::layout::{field, kv_off, LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
 use crate::leaf::{Leaf, WhichSlot};
 use crate::slots::SlotBuf;
@@ -54,6 +58,10 @@ pub(crate) mod roots {
     pub const LEAF_REGION: usize = 3;
     /// Clean-shutdown flag (1 after `close`).
     pub const CLEAN: usize = 4;
+    /// Leaf layout selector: 1 = variable-length-key leaves (4096-byte
+    /// blocks), 0 = fixed u64 leaves. Written at create, checked on every
+    /// open — the two layouts are not interchangeable on one pool.
+    pub const VARLEN: usize = 5;
 }
 
 /// RNTree construction options.
@@ -112,6 +120,17 @@ pub struct RnConfig {
     /// side of `repro cache-scale`). The cache is transient DRAM: crashes
     /// ignore it and recovery starts cold.
     pub cache_frames: usize,
+    /// Store variable-length byte-comparable keys natively: leaves become
+    /// 4096-byte heap-slotted nodes (slot entries carry a 4-byte key head
+    /// plus a heap offset/length, keys prefix-truncated against the leaf's
+    /// low fence — see `layout::varlen`), the inner index compares interned
+    /// byte separators, and the `*_k` byte-key API is served without a
+    /// codec round-trip. Off (the default) keeps the paper's fixed u64
+    /// layout bit-for-bit: every existing pool, persist count and perf
+    /// characteristic is untouched, and `*_k` calls route through the
+    /// [`index_common::U64Key`] codec. The flag is recorded in the pool's
+    /// root table; create and open must agree.
+    pub varlen_leaves: bool,
 }
 
 impl Default for RnConfig {
@@ -126,6 +145,7 @@ impl Default for RnConfig {
             legacy_seq_descent: false,
             striped_fallback: true,
             cache_frames: 1024,
+            varlen_leaves: false,
         }
     }
 }
@@ -174,13 +194,17 @@ pub struct RnTree {
     pub(crate) retries: AtomicU64,
     pub(crate) wasted: AtomicU64,
     pub(crate) pool_exhausted: AtomicBool,
+    /// Leaf-level head ties: searches in a variable-length leaf that had to
+    /// fall back from the 4-byte key head to a full byte compare. Always 0
+    /// in u64 mode (obs "keys" section).
+    pub(crate) leaf_head_ties: AtomicU64,
     /// Phase-breakdown timers (obs). Off by default; the modify path pays
     /// one relaxed load per op until [`RnTree::phase_timers`] enables them.
     pub(crate) timers: PhaseTimers,
 }
 
 /// Decision taken for an allocated log entry under the leaf lock.
-enum Decision {
+pub(crate) enum Decision {
     /// Slot array updated; carries the new slot image for the tslot copy.
     Applied(SlotBuf),
     /// Conditional insert: key already present.
@@ -193,7 +217,7 @@ enum Decision {
 
 /// What kind of write a modify operation is.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum WriteMode {
+pub(crate) enum WriteMode {
     /// Fail on duplicate key.
     InsertStrict,
     /// Fail on missing key.
@@ -259,7 +283,7 @@ impl RnTree {
         }
     }
 
-    fn read_slot_kind(&self) -> WhichSlot {
+    pub(crate) fn read_slot_kind(&self) -> WhichSlot {
         if self.cfg.dual_slot {
             WhichSlot::Transient
         } else {
@@ -269,7 +293,7 @@ impl RnTree {
 
     /// Readers of the single-slot variant must wait out the lock bit
     /// (seqlock); dual-slot readers only wait out splits (§4.4).
-    fn reader_waits_lock(&self) -> bool {
+    pub(crate) fn reader_waits_lock(&self) -> bool {
         !self.cfg.dual_slot
     }
 
@@ -534,7 +558,7 @@ impl RnTree {
         std::thread::yield_now();
     }
 
-    fn note_retry(&self) {
+    pub(crate) fn note_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -544,7 +568,7 @@ impl RnTree {
     /// retries (giving any deferred compaction or in-flight split every
     /// chance to drain the leaf first). Without this, an insert into a full
     /// leaf of an exhausted pool would retry forever.
-    fn starved(&self, count: &mut u32) -> bool {
+    pub(crate) fn starved(&self, count: &mut u32) -> bool {
         *count += 1;
         *count >= 4 && self.pool_exhausted.load(Ordering::Relaxed) && !self.alloc.has_free()
     }
@@ -1096,6 +1120,9 @@ impl RnTree {
     /// Walks the whole tree and checks every structural invariant; returns
     /// a description of the first violation. Quiescent phases only.
     pub fn verify_invariants(&self) -> Result<(), String> {
+        if self.cfg.varlen_leaves {
+            return self.vverify_invariants();
+        }
         let mut off = self.leftmost;
         let mut last_key: Option<Key> = None;
         let mut last_fence = 0u64;
@@ -1176,40 +1203,181 @@ impl RnTree {
 }
 
 impl PersistentIndex for RnTree {
+    // The u64 API works on both layouts: in varlen mode a u64 key is its
+    // 8-byte big-endian encoding ([`U64Key`] is order-preserving, so u64
+    // order and byte order agree and scans return the same sequences).
     fn insert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vmodify(U64Key::encode(key).as_slice(), value, WriteMode::InsertStrict);
+        }
         self.modify(key, value, WriteMode::InsertStrict)
     }
 
     fn update(&self, key: Key, value: Value) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vmodify(U64Key::encode(key).as_slice(), value, WriteMode::UpdateStrict);
+        }
         self.modify(key, value, WriteMode::UpdateStrict)
     }
 
     fn upsert(&self, key: Key, value: Value) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vmodify(U64Key::encode(key).as_slice(), value, WriteMode::Upsert);
+        }
         self.modify(key, value, WriteMode::Upsert)
     }
 
     fn remove(&self, key: Key) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vremove(U64Key::encode(key).as_slice());
+        }
         self.remove_impl(key)
     }
 
     fn find(&self, key: Key) -> Option<Value> {
+        if self.cfg.varlen_leaves {
+            return self.vfind(U64Key::encode(key).as_slice());
+        }
         self.find_impl(key)
     }
 
     fn scan_n(&self, start: Key, n: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        if self.cfg.varlen_leaves {
+            // Non-8-byte keys (possible in a mixed tree) are skipped: they
+            // have no u64 spelling. A u64 workload never stores any.
+            out.clear();
+            let mut tmp: Vec<(KeyBuf, Value)> = Vec::with_capacity(n);
+            self.vscan(U64Key::encode(start).as_slice(), n, &mut tmp);
+            out.extend(tmp.iter().filter_map(|(k, v)| Some((U64Key::decode(k.as_slice())?, *v))));
+            return out.len();
+        }
         self.scan_impl(start, n, out)
     }
 
     fn load_sorted(&self, pairs: &[(Key, Value)]) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            let kp: Vec<(KeyBuf, Value)> =
+                pairs.iter().map(|&(k, v)| (U64Key::encode(k), v)).collect();
+            return self.vload_sorted(&kp);
+        }
         RnTree::load_sorted(self, pairs)
     }
 
     fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        if self.cfg.varlen_leaves {
+            // Sort the caller's slice the way the contract promises, then
+            // run the (already sorted — the encoding is order-preserving)
+            // byte-key batch; results align index-for-index.
+            batch.sort_by_key(|p| p.0);
+            let mut kb: Vec<(KeyBuf, Value)> =
+                batch.iter().map(|&(k, v)| (U64Key::encode(k), v)).collect();
+            return self.vinsert_batch(&mut kb);
+        }
         RnTree::insert_batch(self, batch)
     }
 
+    fn supports_var_keys(&self) -> bool {
+        self.cfg.varlen_leaves
+    }
+
+    fn insert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vmodify(key, value, WriteMode::InsertStrict);
+        }
+        self.modify(U64Key::decode(key).ok_or(OpError::UnsupportedKey)?, value, WriteMode::InsertStrict)
+    }
+
+    fn update_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vmodify(key, value, WriteMode::UpdateStrict);
+        }
+        self.modify(U64Key::decode(key).ok_or(OpError::UnsupportedKey)?, value, WriteMode::UpdateStrict)
+    }
+
+    fn upsert_k(&self, key: KeyRef<'_>, value: Value) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vmodify(key, value, WriteMode::Upsert);
+        }
+        self.modify(U64Key::decode(key).ok_or(OpError::UnsupportedKey)?, value, WriteMode::Upsert)
+    }
+
+    fn remove_k(&self, key: KeyRef<'_>) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vremove(key);
+        }
+        self.remove_impl(U64Key::decode(key).ok_or(OpError::UnsupportedKey)?)
+    }
+
+    fn find_k(&self, key: KeyRef<'_>) -> Option<Value> {
+        if self.cfg.varlen_leaves {
+            return self.vfind(key);
+        }
+        self.find_impl(U64Key::decode(key)?)
+    }
+
+    fn scan_k(&self, start: KeyRef<'_>, n: usize, out: &mut Vec<(KeyBuf, Value)>) -> usize {
+        if self.cfg.varlen_leaves {
+            return self.vscan(start, n, out);
+        }
+        out.clear();
+        // The u64-backed round-up from the trait default: smallest u64
+        // whose 8-byte encoding is >= `start` byte-wise.
+        let from = if start.len() <= 8 {
+            let mut p = [0u8; 8];
+            p[..start.len()].copy_from_slice(start);
+            u64::from_be_bytes(p)
+        } else {
+            let p = u64::from_be_bytes(start[..8].try_into().expect("8-byte prefix"));
+            match p.checked_add(1) {
+                Some(next) => next,
+                None => return 0,
+            }
+        };
+        let mut tmp = Vec::with_capacity(n);
+        self.scan_impl(from, n, &mut tmp);
+        out.extend(tmp.into_iter().map(|(k, v)| (U64Key::encode(k), v)));
+        out.len()
+    }
+
+    fn load_sorted_k(&self, pairs: &[(KeyBuf, Value)]) -> Result<(), OpError> {
+        if self.cfg.varlen_leaves {
+            return self.vload_sorted(pairs);
+        }
+        // 8-byte-only index: decode the whole batch up front (failing
+        // cleanly on an unrepresentable key) and take the bulk-load path
+        // instead of the trait default's per-key upserts.
+        let mut kp: Vec<(Key, Value)> = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            kp.push((U64Key::decode(k.as_slice()).ok_or(OpError::UnsupportedKey)?, *v));
+        }
+        RnTree::load_sorted(self, &kp)
+    }
+
+    fn insert_batch_k(&self, batch: &mut [(KeyBuf, Value)]) -> Vec<Result<(), OpError>> {
+        if self.cfg.varlen_leaves {
+            return self.vinsert_batch(batch);
+        }
+        batch.sort_by_key(|p| p.0);
+        if let Ok(mut kp) = batch
+            .iter()
+            .map(|(k, v)| U64Key::decode(k.as_slice()).map(|k| (k, *v)).ok_or(()))
+            .collect::<Result<Vec<_>, ()>>()
+        {
+            // Encoding preserves order, so `kp` is already sorted and the
+            // batched path's result vector aligns with `batch`.
+            return RnTree::insert_batch(self, &mut kp);
+        }
+        // Mixed-width batch (some keys not u64-encodable): per-key path.
+        batch
+            .iter()
+            .map(|(k, v)| self.insert_k(k.as_slice(), *v))
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
-        if self.cfg.dual_slot {
+        if self.cfg.varlen_leaves {
+            "RNTree+VK"
+        } else if self.cfg.dual_slot {
             "RNTree+DS"
         } else {
             "RNTree"
@@ -1261,7 +1429,8 @@ impl ObsSource for RnTree {
     /// `phases` (the modify-path breakdown, present only while the timers
     /// are enabled), `cache` (page-cache hit/miss/eviction counters plus
     /// the optimistic-descent restart taxonomy, present only with a cache
-    /// attached), and `events` (the pool's crash-forensics ring).
+    /// attached), `keys` (head-tie fallback counters, present only in
+    /// byte-keyed mode), and `events` (the pool's crash-forensics ring).
     fn obs_sections(&self) -> Vec<(String, Section)> {
         let mut tree = self.stats().counters();
         let rn = self.rn_stats();
@@ -1311,6 +1480,21 @@ impl ObsSource for RnTree {
                 ]),
             ));
         }
+        if self.index.is_byte_keyed() {
+            // How often the 4-byte key heads failed to decide a compare and
+            // the search fell back to full key bytes — the cost model of
+            // the head optimisation (DESIGN.md §5h).
+            out.push((
+                "keys".to_string(),
+                Section::Counters(vec![
+                    ("head_tie_fallbacks_inner".into(), self.index.head_tie_fallbacks()),
+                    (
+                        "head_tie_fallbacks_leaf".into(),
+                        self.leaf_head_ties.load(Ordering::Relaxed),
+                    ),
+                ]),
+            ));
+        }
         out.push(("events".to_string(), Section::Events(self.pool.events().dump())));
         out
     }
@@ -1319,19 +1503,31 @@ impl ObsSource for RnTree {
 // Construction / recovery live in recovery.rs; shared helpers are here so
 // both files stay readable.
 impl RnTree {
-    /// Layout bookkeeping shared by create/recover paths.
+    /// The leaf block size this config's layout uses.
+    pub(crate) fn leaf_block(cfg: &RnConfig) -> u64 {
+        if cfg.varlen_leaves {
+            VAR_LEAF_BLOCK
+        } else {
+            LEAF_BLOCK
+        }
+    }
+
+    /// Layout bookkeeping shared by create/recover paths. The journal
+    /// images and the leaf region are both sized by the config's leaf
+    /// block, so the two layouts never mix on one pool.
     pub(crate) fn leaf_region_start(cfg: &RnConfig) -> u64 {
-        RootTable::END + SplitJournal::region_bytes(cfg.journal_slots)
+        RootTable::END + SplitJournal::region_bytes_sized(cfg.journal_slots, Self::leaf_block(cfg))
     }
 
     pub(crate) fn make_parts(pool: &Arc<PmemPool>, cfg: &RnConfig) -> (BlockAllocator, SplitJournal) {
+        let block = Self::leaf_block(cfg);
         let leaf_region = Self::leaf_region_start(cfg);
         assert!(
-            leaf_region + LEAF_BLOCK <= pool.len(),
+            leaf_region + block <= pool.len(),
             "pool too small for journal + one leaf"
         );
-        let alloc = BlockAllocator::new(leaf_region, pool.len(), LEAF_BLOCK);
-        let journal = SplitJournal::new(RootTable::END, cfg.journal_slots);
+        let alloc = BlockAllocator::new(leaf_region, pool.len(), block);
+        let journal = SplitJournal::new_sized(RootTable::END, cfg.journal_slots, block);
         (alloc, journal)
     }
 }

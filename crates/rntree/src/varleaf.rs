@@ -1,0 +1,591 @@
+//! Typed accessor over a **variable-length-key** leaf block
+//! (`RnConfig::varlen_leaves`; layout in [`crate::layout::varlen`]).
+//!
+//! `VarLeaf` wraps [`Leaf`] for everything the two layouts share — the
+//! lock/version word, log-entry allocation, `plogs`, `next`, and the
+//! dual slot arrays all sit at the same offsets with the same access
+//! discipline — and adds the var-specific pieces: the fence/prefix
+//! metadata word, the packed record directory, and the in-leaf key heap.
+//!
+//! ## The prefix-truncation lemma
+//!
+//! A leaf covers the key range `(low_fence, high_fence]`. Let
+//! `p = lcp(low_fence, high_fence)`. Every key `k` with
+//! `low_fence < k ≤ high_fence` starts with that common prefix: if `k`
+//! differed from it at byte `i < p`, then `k` would compare against both
+//! fences identically at byte `i` (they agree there), contradicting
+//! `low < k ≤ high`; and `k` cannot be a *proper* prefix of the common
+//! prefix, because such a string sorts ≤ `low_fence`. Hence storing only
+//! `k[p..]` is lossless: reconstruction is `low_fence[..p] ++ suffix`.
+//! (For the leftmost leaf `low_fence` is empty and for the rightmost
+//! `high_fence` is +∞, so `p = 0` there and no truncation happens.)
+//!
+//! ## Concurrency discipline for the heap
+//!
+//! Heap space is reserved with a lock-free bump (`reserve_heap`) *after*
+//! the entry's `nlogs` CAS succeeded — and a successful allocation blocks
+//! splits until the entry is decided (the quiescence guard), so the
+//! reserved region, the prefix length, and the fence bytes are all stable
+//! until the owner publishes or wastes the entry. All heap access is by
+//! 8-byte **atomic words** (records and fences are 8-aligned and
+//! zero-padded), so optimistic readers racing a split's rewrite read
+//! well-defined (possibly torn) values that the leaf version re-check
+//! then discards — exactly the u64 leaf's `read_key` discipline.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htm::{TxResult, Txn};
+use index_common::{key_head, KeyBuf, MAX_KEY_LEN};
+use nvm::PmemPool;
+
+use crate::layout::varlen::{dir_off, round8, vfield, HF_INF, VAR_HEAP_CAP, VAR_LEAF_BLOCK, VAR_LEAF_CAPACITY, VAR_MAX_LIVE};
+use crate::leaf::{Leaf, WhichSlot};
+use crate::slots::SlotBuf;
+
+/// A handle to one variable-length-key leaf node.
+#[derive(Clone, Copy)]
+pub(crate) struct VarLeaf<'p> {
+    /// Shared-protocol accessor (lock/version word, slot arrays, `plogs`,
+    /// `next` — all at identical offsets in both layouts).
+    base: Leaf<'p>,
+    pool: &'p PmemPool,
+    off: u64,
+}
+
+impl<'p> VarLeaf<'p> {
+    pub(crate) fn at(pool: &'p PmemPool, off: u64) -> Self {
+        debug_assert!(off.is_multiple_of(64) && off + VAR_LEAF_BLOCK <= pool.len());
+        VarLeaf { base: Leaf::at(pool, off), pool, off }
+    }
+
+    pub(crate) fn off(&self) -> u64 {
+        self.off
+    }
+
+    // ---- shared protocol, delegated ---------------------------------------
+
+    pub(crate) fn lock(&self) {
+        self.base.lock();
+    }
+    pub(crate) fn unlock(&self, bump: bool) {
+        self.base.unlock(bump);
+    }
+    pub(crate) fn set_split(&self) {
+        self.base.set_split();
+    }
+    pub(crate) fn unset_split_nobump(&self) {
+        self.base.unset_split_nobump();
+    }
+    pub(crate) fn unset_split_bump(&self) {
+        self.base.unset_split_bump();
+    }
+    pub(crate) fn stable_version(&self, wait_lock: bool) -> u64 {
+        self.base.stable_version(wait_lock)
+    }
+    pub(crate) fn reset_lockver(&self) {
+        self.base.reset_lockver();
+    }
+    pub(crate) fn nlogs(&self) -> u64 {
+        self.base.nlogs()
+    }
+    pub(crate) fn set_nlogs(&self, v: u64) {
+        self.base.set_nlogs(v);
+    }
+    pub(crate) fn plogs(&self) -> u64 {
+        self.base.plogs()
+    }
+    pub(crate) fn set_plogs(&self, v: u64) {
+        self.base.set_plogs(v);
+    }
+    pub(crate) fn next(&self) -> u64 {
+        self.base.next()
+    }
+    pub(crate) fn set_next(&self, v: u64) {
+        self.base.set_next(v);
+    }
+    pub(crate) fn alloc_entry(&self) -> Option<usize> {
+        self.base.alloc_entry()
+    }
+    pub(crate) fn read_slot_in<'t>(&self, txn: &mut Txn<'t>, which: WhichSlot) -> TxResult<SlotBuf>
+    where
+        'p: 't,
+    {
+        self.base.read_slot_in(txn, which)
+    }
+    pub(crate) fn write_slot_in<'t>(&self, txn: &mut Txn<'t>, which: WhichSlot, slot: &SlotBuf) -> TxResult<()>
+    where
+        'p: 't,
+    {
+        self.base.write_slot_in(txn, which, slot)
+    }
+    pub(crate) fn read_slot_seq(&self, which: WhichSlot) -> SlotBuf {
+        self.base.read_slot_seq(which)
+    }
+    pub(crate) fn write_slot_seq(&self, which: WhichSlot, slot: &SlotBuf) {
+        self.base.write_slot_seq(which, slot);
+    }
+    pub(crate) fn persist_pslot(&self) {
+        self.base.persist_pslot();
+    }
+    /// Persists the entire var block (split/compaction tail).
+    pub(crate) fn persist_all(&self) {
+        self.pool.persist(self.off, VAR_LEAF_BLOCK);
+    }
+
+    // ---- fence / prefix metadata ------------------------------------------
+
+    fn meta(&self) -> u64 {
+        self.pool.load_u64_acquire(self.off + vfield::META)
+    }
+
+    fn set_meta(&self, prefix_len: usize, lf_len: usize, hf_len: u16) {
+        debug_assert!(prefix_len <= MAX_KEY_LEN && lf_len <= MAX_KEY_LEN);
+        let w = (prefix_len as u64) | ((lf_len as u64) << 16) | ((hf_len as u64) << 32);
+        self.pool.store_u64_release(self.off + vfield::META, w);
+    }
+
+    /// Shared-prefix length of this leaf's key range.
+    pub(crate) fn prefix_len(&self) -> usize {
+        (self.meta() & 0xFFFF) as usize
+    }
+
+    fn lf_len(&self) -> usize {
+        ((self.meta() >> 16) & 0xFFFF) as usize
+    }
+
+    /// Raw `hf_len` field; [`HF_INF`] encodes the +∞ fence.
+    fn hf_len_raw(&self) -> u16 {
+        ((self.meta() >> 32) & 0xFFFF) as u16
+    }
+
+    /// Heap-relative offset where records start (past the fence bytes).
+    fn fence_bytes(&self) -> u64 {
+        let hf = self.hf_len_raw();
+        let hf_bytes = if hf == HF_INF { 0 } else { hf as u64 };
+        round8(self.lf_len() as u64) + round8(hf_bytes)
+    }
+
+    /// The exclusive lower bound of this leaf's range.
+    pub(crate) fn low_fence(&self) -> KeyBuf {
+        let mut buf = [0u8; MAX_KEY_LEN];
+        let n = self.lf_len();
+        self.load_heap_bytes(self.off + vfield::HEAP, n, &mut buf);
+        KeyBuf::from_slice(&buf[..n])
+    }
+
+    /// The inclusive upper bound; `None` is the rightmost leaf's +∞.
+    pub(crate) fn high_fence(&self) -> Option<KeyBuf> {
+        let raw = self.hf_len_raw();
+        if raw == HF_INF {
+            return None;
+        }
+        let mut buf = [0u8; MAX_KEY_LEN];
+        let n = raw as usize;
+        let at = self.off + vfield::HEAP + round8(self.lf_len() as u64);
+        self.load_heap_bytes(at, n, &mut buf);
+        Some(KeyBuf::from_slice(&buf[..n]))
+    }
+
+    /// True when `key` lies above this leaf's range (the stale-route
+    /// check; mirrors the u64 leaf's `key > fence()`).
+    pub(crate) fn key_above_fence(&self, key: &[u8]) -> bool {
+        match self.high_fence() {
+            None => false,
+            Some(hf) => key > hf.as_slice(),
+        }
+    }
+
+    /// Copies the shared prefix into `buf`, returning its length.
+    pub(crate) fn prefix_into(&self, buf: &mut [u8; MAX_KEY_LEN]) -> usize {
+        let p = self.prefix_len();
+        self.load_heap_bytes(self.off + vfield::HEAP, p, buf);
+        p
+    }
+
+    // ---- heap -------------------------------------------------------------
+
+    fn heap_used_word(&self) -> &AtomicU64 {
+        self.pool.atomic_u64(self.off + vfield::HEAP_USED)
+    }
+
+    pub(crate) fn heap_used(&self) -> u64 {
+        self.heap_used_word().load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_heap_used(&self, v: u64) {
+        self.heap_used_word().store(v, Ordering::Release);
+    }
+
+    /// Free heap bytes (split-trigger input).
+    pub(crate) fn heap_free(&self) -> u64 {
+        VAR_HEAP_CAP - self.heap_used().min(VAR_HEAP_CAP)
+    }
+
+    /// Lock-free heap reservation of `bytes` (8-aligned). Returns the
+    /// **pool-absolute** offset of the reserved region, or `None` when the
+    /// heap cannot hold it (the caller wastes the entry and triggers a
+    /// split). Call only while owning an undecided log entry, which is
+    /// what fences off concurrent heap rewrites (see module docs).
+    pub(crate) fn reserve_heap(&self, bytes: u64) -> Option<u64> {
+        debug_assert!(bytes.is_multiple_of(8));
+        self.heap_used_word()
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                (used + bytes <= VAR_HEAP_CAP).then_some(used + bytes)
+            })
+            .ok()
+            .map(|old| self.off + vfield::HEAP + old)
+    }
+
+    /// Word-atomic byte store into the heap: `at` must be 8-aligned; the
+    /// tail of the last word is zero-padded. The region must be exclusively
+    /// owned (a fresh reservation or a split-frozen rewrite).
+    fn store_heap_bytes(&self, at: u64, bytes: &[u8]) {
+        debug_assert!(at.is_multiple_of(8));
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(8);
+            let mut w = [0u8; 8];
+            w[..take].copy_from_slice(&bytes[i..i + take]);
+            self.pool.store_u64(at + i as u64, u64::from_le_bytes(w));
+            i += 8;
+        }
+    }
+
+    /// Word-atomic byte load from the heap into `buf[..len]`.
+    fn load_heap_bytes(&self, at: u64, len: usize, buf: &mut [u8; MAX_KEY_LEN]) {
+        debug_assert!(at.is_multiple_of(8) && len <= MAX_KEY_LEN);
+        let mut i = 0;
+        while i < len {
+            let w = self.pool.load_u64(at + i as u64).to_le_bytes();
+            let take = (len - i).min(8);
+            buf[i..i + take].copy_from_slice(&w[..take]);
+            i += 8;
+        }
+    }
+
+    // ---- record directory --------------------------------------------------
+
+    pub(crate) fn dir_word(&self, entry: usize) -> u64 {
+        debug_assert!(entry < VAR_LEAF_CAPACITY);
+        self.pool.load_u64(self.off + dir_off(entry))
+    }
+
+    /// Packs and stores the directory word for `entry`. Single-writer
+    /// before publication, exactly like the u64 leaf's `write_kv`.
+    pub(crate) fn set_dir_word(&self, entry: usize, head: u32, rec_rel: u64, suffix_len: usize) {
+        debug_assert!(entry < VAR_LEAF_CAPACITY && rec_rel < VAR_LEAF_BLOCK && suffix_len <= MAX_KEY_LEN);
+        let w = ((head as u64) << 32) | (rec_rel << 16) | suffix_len as u64;
+        self.pool.store_u64(self.off + dir_off(entry), w);
+    }
+
+    /// Decodes a directory word into (head, block-relative record offset,
+    /// stored suffix length).
+    pub(crate) fn decode_dir(w: u64) -> (u32, u64, usize) {
+        ((w >> 32) as u32, (w >> 16) & 0xFFFF, (w & 0xFFFF) as usize)
+    }
+
+    // ---- records ------------------------------------------------------------
+
+    /// Writes one record (`[value][suffix]`) at the reserved absolute
+    /// offset `rec_abs`.
+    pub(crate) fn write_record(&self, rec_abs: u64, value: u64, suffix: &[u8]) {
+        self.pool.store_u64(rec_abs, value);
+        self.store_heap_bytes(rec_abs + 8, suffix);
+    }
+
+    /// Value of the record behind `entry`.
+    pub(crate) fn read_value_entry(&self, entry: usize) -> u64 {
+        let (_, rec_rel, _) = Self::decode_dir(self.dir_word(entry));
+        self.pool.load_u64(self.off + rec_rel)
+    }
+
+    /// Reconstructs the full key of `entry`: shared prefix + heap suffix.
+    pub(crate) fn key_of_entry(&self, entry: usize) -> KeyBuf {
+        let (_, rec_rel, klen) = Self::decode_dir(self.dir_word(entry));
+        let mut buf = [0u8; MAX_KEY_LEN];
+        let p = self.prefix_into(&mut buf);
+        let mut sfx = [0u8; MAX_KEY_LEN];
+        self.load_heap_bytes(self.off + rec_rel + 8, klen.min(MAX_KEY_LEN - p), &mut sfx);
+        let n = p + klen.min(MAX_KEY_LEN - p);
+        buf[p..n].copy_from_slice(&sfx[..klen.min(MAX_KEY_LEN - p)]);
+        KeyBuf::from_slice(&buf[..n])
+    }
+
+    /// Compares a full query key against the stored key of `entry`,
+    /// heads first (one directory-word read; heap bytes only on a tie).
+    /// Returns the ordering of `key` relative to the stored key, and
+    /// whether the comparison had to fall through to heap bytes.
+    pub(crate) fn cmp_key_entry(&self, key: &[u8], qhead: u32, prefix: &[u8], entry: usize) -> (CmpOrdering, bool) {
+        let w = self.dir_word(entry);
+        let (ehead, rec_rel, klen) = Self::decode_dir(w);
+        match qhead.cmp(&ehead) {
+            CmpOrdering::Equal => {
+                let mut sfx = [0u8; MAX_KEY_LEN];
+                let n = klen.min(MAX_KEY_LEN);
+                self.load_heap_bytes(self.off + rec_rel + 8, n, &mut sfx);
+                (cmp_concat(key, prefix, &sfx[..n]), true)
+            }
+            o => (o, false),
+        }
+    }
+
+    /// Binary search for `key` among the live entries of `slot`, 4-byte
+    /// heads first. `ties` counts probes that had to read heap bytes.
+    pub(crate) fn search_k(&self, slot: &SlotBuf, key: &[u8], ties: &AtomicU64) -> Result<usize, usize> {
+        let mut pbuf = [0u8; MAX_KEY_LEN];
+        let p = self.prefix_into(&mut pbuf);
+        let qhead = key_head(key);
+        let mut tie_count = 0u64;
+        let (mut lo, mut hi) = (0usize, slot.len());
+        let mut found = None;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (ord, tied) = self.cmp_key_entry(key, qhead, &pbuf[..p], slot.entry(mid));
+            tie_count += tied as u64;
+            match ord {
+                CmpOrdering::Less => hi = mid,
+                CmpOrdering::Greater => lo = mid + 1,
+                CmpOrdering::Equal => {
+                    found = Some(mid);
+                    break;
+                }
+            }
+        }
+        if tie_count > 0 {
+            ties.fetch_add(tie_count, Ordering::Relaxed);
+        }
+        match found {
+            Some(pos) => Ok(pos),
+            None => Err(lo),
+        }
+    }
+
+    /// Exact-match check of `key` against `entry` (fingerprint-probe
+    /// confirmation; counts a head-tie when heap bytes were read).
+    pub(crate) fn key_matches(&self, key: &[u8], qhead: u32, prefix: &[u8], entry: usize, ties: &AtomicU64) -> bool {
+        let (ord, tied) = self.cmp_key_entry(key, qhead, prefix, entry);
+        if tied {
+            ties.fetch_add(1, Ordering::Relaxed);
+        }
+        ord == CmpOrdering::Equal
+    }
+
+    // ---- prefetch ------------------------------------------------------------
+
+    /// Prefetch hints for the header, both slot lines, and the directory.
+    pub(crate) fn prefetch_hot(&self) {
+        self.pool.prefetch(self.off + vfield::LOCKVER, 8);
+        self.pool.prefetch(self.off + vfield::PSLOT, 128);
+        self.pool.prefetch(self.off + vfield::DIR, vfield::HEAP - vfield::DIR);
+    }
+
+    // ---- initialisation --------------------------------------------------------
+
+    /// Formats this block as an empty var leaf and persists the header +
+    /// fence + slot lines.
+    pub(crate) fn init_empty(&self, lf: &[u8], hf: Option<&[u8]>, next: u64) {
+        self.reset_lockver();
+        self.set_plogs(0);
+        self.set_next(next);
+        self.write_fences_and_meta(lf, hf);
+        self.write_slot_seq(WhichSlot::Persistent, &SlotBuf::new());
+        self.write_slot_seq(WhichSlot::Transient, &SlotBuf::new());
+        self.persist_all();
+    }
+
+    /// Writes the fence bytes + meta word and resets `heap_used` to the
+    /// fence region. Caller must own the leaf exclusively (init, or a
+    /// split/compaction with the splitting bit set).
+    fn write_fences_and_meta(&self, lf: &[u8], hf: Option<&[u8]>) {
+        debug_assert!(lf.len() <= MAX_KEY_LEN && hf.is_none_or(|h| h.len() <= MAX_KEY_LEN));
+        let p = hf.map_or(0, |h| index_common::lcp(lf, h));
+        self.store_heap_bytes(self.off + vfield::HEAP, lf);
+        if let Some(h) = hf {
+            self.store_heap_bytes(self.off + vfield::HEAP + round8(lf.len() as u64), h);
+        }
+        self.set_meta(p, lf.len(), hf.map_or(HF_INF, |h| h.len() as u16));
+        self.set_heap_used(round8(lf.len() as u64) + hf.map_or(0, |h| round8(h.len() as u64)));
+    }
+
+    /// Rewrites this leaf's heap with `pairs` stored densely in key order
+    /// under fresh fences, setting directory words for entries `0..n`.
+    /// Slot arrays, counters and persists are the caller's job (they
+    /// differ between split, compaction and batched load). The leaf must
+    /// be private to the caller or split-frozen.
+    ///
+    /// # Panics
+    /// Panics if the records do not fit the heap — callers guarantee fit
+    /// by the split size argument (≤ 32 worst-case records + fences).
+    pub(crate) fn rewrite_records(&self, pairs: &[(KeyBuf, u64)], lf: &[u8], hf: Option<&[u8]>) {
+        debug_assert!(pairs.len() <= VAR_MAX_LIVE);
+        self.write_fences_and_meta(lf, hf);
+        let p = self.prefix_len();
+        let mut used = self.fence_bytes();
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            let key = k.as_slice();
+            debug_assert!(key.len() >= p && key[..p] == lf[..p]);
+            let suffix = key.get(p..).unwrap_or(&[]);
+            let rec_len = 8 + round8(suffix.len() as u64);
+            assert!(used + rec_len <= VAR_HEAP_CAP, "var-leaf rewrite overflows heap");
+            let rec_abs = self.off + vfield::HEAP + used;
+            self.write_record(rec_abs, *v, suffix);
+            self.set_dir_word(i, key_head(key), rec_abs - self.off, suffix.len());
+            used += rec_len;
+        }
+        self.set_heap_used(used);
+    }
+
+    /// Formats this block with `pairs` in key order and persists the whole
+    /// node (right half of a split, private to the splitting thread).
+    pub(crate) fn init_from_pairs(&self, pairs: &[(KeyBuf, u64)], lf: &[u8], hf: Option<&[u8]>, next: u64) {
+        self.reset_lockver();
+        self.rewrite_records(pairs, lf, hf);
+        let slot = SlotBuf::identity(pairs.len());
+        self.write_slot_seq(WhichSlot::Persistent, &slot);
+        self.write_slot_seq(WhichSlot::Transient, &slot);
+        self.set_nlogs(pairs.len() as u64);
+        self.set_plogs(pairs.len() as u64);
+        self.set_next(next);
+        self.persist_all();
+    }
+
+    /// Collects the live `(key, value)` pairs in key order (lock held or
+    /// quiescent recovery).
+    pub(crate) fn collect_pairs(&self, slot: &SlotBuf) -> Vec<(KeyBuf, u64)> {
+        slot.iter().map(|e| (self.key_of_entry(e), self.read_value_entry(e))).collect()
+    }
+}
+
+/// Lexicographic comparison of `q` against the concatenation `a ++ b`
+/// without materialising it.
+pub(crate) fn cmp_concat(q: &[u8], a: &[u8], b: &[u8]) -> CmpOrdering {
+    let n = q.len().min(a.len());
+    let c = q[..n].cmp(&a[..n]);
+    if c != CmpOrdering::Equal {
+        return c;
+    }
+    if q.len() < a.len() {
+        return CmpOrdering::Less; // q is a proper prefix of a
+    }
+    q[a.len()..].cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::PmemConfig;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PmemConfig::for_testing(1 << 16))
+    }
+
+    #[test]
+    fn cmp_concat_is_lexicographic() {
+        use CmpOrdering::*;
+        assert_eq!(cmp_concat(b"abc", b"ab", b"c"), Equal);
+        assert_eq!(cmp_concat(b"abb", b"ab", b"c"), Less);
+        assert_eq!(cmp_concat(b"abd", b"ab", b"c"), Greater);
+        assert_eq!(cmp_concat(b"a", b"ab", b"c"), Less);
+        assert_eq!(cmp_concat(b"abcd", b"ab", b"c"), Greater);
+        assert_eq!(cmp_concat(b"", b"", b""), Equal);
+        assert_eq!(cmp_concat(b"x", b"", b""), Greater);
+    }
+
+    #[test]
+    fn fences_and_meta_roundtrip() {
+        let p = pool();
+        let l = VarLeaf::at(&p, 0);
+        l.init_empty(b"apple", Some(b"apricot"), 77);
+        assert_eq!(l.low_fence().as_slice(), b"apple");
+        assert_eq!(l.high_fence().unwrap().as_slice(), b"apricot");
+        assert_eq!(l.prefix_len(), 2); // "ap"
+        assert_eq!(l.next(), 77);
+        assert!(l.key_above_fence(b"apz"));
+        assert!(!l.key_above_fence(b"apricot"));
+        // +∞ fence
+        let r = VarLeaf::at(&p, 4096);
+        r.init_empty(b"", None, 0);
+        assert_eq!(r.high_fence(), None);
+        assert_eq!(r.prefix_len(), 0);
+        assert!(!r.key_above_fence(&[0xFF; 64]));
+    }
+
+    #[test]
+    fn records_reconstruct_and_search() {
+        let p = pool();
+        let l = VarLeaf::at(&p, 0);
+        l.init_empty(b"app", Some(b"apz"), 0);
+        let ties = AtomicU64::new(0);
+        // In-range keys share prefix "ap".
+        let keys: [&[u8]; 4] = [b"apple", b"apples", b"apricot", b"apt"];
+        let mut slot = SlotBuf::new();
+        for (i, k) in keys.iter().enumerate() {
+            let e = l.alloc_entry().unwrap();
+            let suffix = &k[l.prefix_len()..];
+            let rec = l.reserve_heap(8 + round8(suffix.len() as u64)).unwrap();
+            l.write_record(rec, 100 + i as u64, suffix);
+            l.set_dir_word(e, key_head(k), rec - l.off(), suffix.len());
+            slot.insert_at(i, e);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(l.key_of_entry(slot.entry(i)).as_slice(), *k);
+            assert_eq!(l.search_k(&slot, k, &ties), Ok(i), "key {k:?}");
+            assert_eq!(l.read_value_entry(slot.entry(i)), 100 + i as u64);
+        }
+        assert_eq!(l.search_k(&slot, b"apportion", &ties), Err(2));
+        assert_eq!(l.search_k(&slot, b"aq", &ties), Err(4));
+        assert_eq!(l.search_k(&slot, b"aa", &ties), Err(0));
+        // "apple" vs "apples" and "apt" share 4-byte heads → ties counted.
+        assert!(ties.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn rewrite_records_retruncates_against_new_fences() {
+        let p = pool();
+        let l = VarLeaf::at(&p, 0);
+        l.init_empty(b"", None, 0);
+        let pairs: Vec<(KeyBuf, u64)> = [&b"key:0001"[..], b"key:0002", b"key:0003"]
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (KeyBuf::from_slice(k), i as u64))
+            .collect();
+        l.rewrite_records(&pairs, b"key:0000", Some(b"key:0003"));
+        assert_eq!(l.prefix_len(), 7); // "key:000"
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            assert_eq!(l.key_of_entry(i), *k);
+            assert_eq!(l.read_value_entry(i), *v);
+        }
+        // Suffixes are 1 byte → records are 16 bytes each.
+        assert_eq!(l.heap_used(), round8(8) + round8(8) + 3 * 16);
+    }
+
+    #[test]
+    fn reserve_heap_exhausts_exactly() {
+        let p = pool();
+        let l = VarLeaf::at(&p, 0);
+        l.init_empty(b"", None, 0);
+        let mut total = 0u64;
+        while l.reserve_heap(72).is_some() {
+            total += 72;
+        }
+        assert!(total <= VAR_HEAP_CAP && total + 72 > VAR_HEAP_CAP);
+        assert!(l.heap_free() < 72);
+    }
+
+    #[test]
+    fn init_from_pairs_is_durable() {
+        let p = pool();
+        let l = VarLeaf::at(&p, 4096);
+        let pairs: Vec<(KeyBuf, u64)> = (0..10)
+            .map(|i| (KeyBuf::from_slice(format!("user{i:04}").as_bytes()), i))
+            .collect();
+        l.init_from_pairs(&pairs, b"user0000", Some(b"user0009"), 8192);
+        p.simulate_crash();
+        let slot = l.read_slot_seq(WhichSlot::Persistent);
+        assert_eq!(slot.len(), 10);
+        assert_eq!(l.collect_pairs(&slot), pairs);
+        assert_eq!(l.next(), 8192);
+        assert_eq!(l.nlogs(), 10);
+    }
+}

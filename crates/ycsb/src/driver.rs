@@ -21,6 +21,7 @@ use index_common::{OpError, PersistentIndex};
 use nvm::SplitMix64;
 
 use crate::hist::Histogram;
+use crate::keygen::KeyShape;
 use crate::workload::{OpKind, WorkloadSpec};
 
 /// Result of a driver run.
@@ -96,6 +97,107 @@ fn execute(
         Err(OpError::PoolExhausted) => Err(OpError::PoolExhausted),
         _ => Ok(()),
     }
+}
+
+/// Byte-key twin of [`execute`]: renders the sampled id through `shape`
+/// and drives the `*_k` operations. `UnsupportedKey` is impossible here
+/// (every [`KeyShape`] renders ≤ 64 bytes), so the error contract matches
+/// [`execute`] exactly.
+fn execute_k(
+    tree: &dyn PersistentIndex,
+    kind: OpKind,
+    shape: KeyShape,
+    id: u64,
+    scan_len: usize,
+    scan_buf: &mut Vec<(index_common::KeyBuf, u64)>,
+    fresh: &AtomicU64,
+) -> Result<(), OpError> {
+    let key = shape.render(id);
+    let r = match kind {
+        OpKind::Read => {
+            std::hint::black_box(tree.find_k(key.as_slice()));
+            Ok(())
+        }
+        OpKind::Update => tree.upsert_k(key.as_slice(), id ^ 0x5555),
+        OpKind::Insert => {
+            let k = shape.render(fresh.fetch_add(1, Ordering::Relaxed));
+            tree.upsert_k(k.as_slice(), id)
+        }
+        OpKind::Remove => tree.remove_k(key.as_slice()),
+        OpKind::Scan => {
+            std::hint::black_box(tree.scan_k(key.as_slice(), scan_len.max(1), scan_buf));
+            Ok(())
+        }
+    };
+    match r {
+        Err(OpError::PoolExhausted) => Err(OpError::PoolExhausted),
+        _ => Ok(()),
+    }
+}
+
+/// Closed-loop driver over **byte-string keys**: samples ids from the
+/// spec's distribution exactly like [`run_closed_loop`], but renders each
+/// through `shape` and issues the `*_k` operations. Same methodology,
+/// same determinism contract, directly comparable throughput numbers.
+pub fn run_closed_loop_k(
+    tree: &Arc<dyn PersistentIndex>,
+    spec: &WorkloadSpec,
+    shape: KeyShape,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> LoopResult {
+    assert!(threads > 0);
+    let keygen = spec.build_keygen();
+    let fresh = AtomicU64::new(spec.dist.n() + 1);
+    let start = Instant::now();
+    let deadline = start + duration;
+
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let keygen = keygen.clone();
+                let fresh = &fresh;
+                let tree = Arc::clone(tree);
+                scope.spawn(move || {
+                    let tree = &*tree;
+                    let mut rng = SplitMix64::new(seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B9));
+                    let mut out = WorkerOut {
+                        ops: 0,
+                        pool_exhausted: 0,
+                        read: Histogram::new(),
+                        update: Histogram::new(),
+                        other: Histogram::new(),
+                    };
+                    let mut scan_buf = Vec::new();
+                    loop {
+                        let t0 = Instant::now();
+                        if t0 >= deadline {
+                            break;
+                        }
+                        let kind = spec.mix.sample(&mut rng);
+                        let id = keygen.next_key(&mut rng);
+                        if execute_k(tree, kind, shape, id, spec.scan_len, &mut scan_buf, fresh)
+                            .is_err()
+                        {
+                            out.pool_exhausted += 1;
+                        }
+                        let lat = t0.elapsed().as_nanos() as u64;
+                        out.ops += 1;
+                        match kind {
+                            OpKind::Read => out.read.record(lat),
+                            OpKind::Update => out.update.record(lat),
+                            _ => out.other.record(lat),
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    merge(outs, start.elapsed())
 }
 
 /// Runs `threads` closed-loop workers for `duration`. Deterministic up to

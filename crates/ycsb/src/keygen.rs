@@ -11,7 +11,103 @@
 //! Generated keys are in `1..=n` (0 is reserved as a null sentinel by the
 //! trees' pool layout conventions).
 
+use index_common::{KeyBuf, MAX_KEY_LEN};
 use nvm::SplitMix64;
+
+/// How a sampled key id in `1..=n` is rendered into a **byte-comparable
+/// string key** for the var-key (`*_k`) workloads.
+///
+/// Every shape is order-preserving — `id < id' ⟺ render(id) <
+/// render(id')` bytewise — so the string workloads keep the exact key
+/// distribution (and scan semantics) of their u64 counterparts, and an
+/// oracle over ids stays valid over the rendered keys.
+///
+/// The shapes differ sharply in how much the 4-byte key *head* (the
+/// directory-word prefix the var leaf compares first) discriminates:
+///
+/// * [`KeyShape::U64Be`] — the `U64Key` codec layout itself; heads are
+///   the high 32 bits, all zero for realistic id ranges.
+/// * [`KeyShape::Decimal`] — zero-padded decimal: for widths well above
+///   `log10(n)` every key starts `"000…"`, so heads tie almost always
+///   and discrimination lives in the tail digits (the worst case for
+///   head-first search, the motivating case for suffix compares).
+/// * [`KeyShape::Url`] — URL-style keys sharing a scheme+host prefix;
+///   heads tie *always* (`"http"`) and the discriminating bytes sit past
+///   the 22-byte prefix, which is exactly what the in-leaf prefix
+///   truncation is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyShape {
+    /// 8-byte big-endian id — the `U64Key` codec layout.
+    U64Be,
+    /// Zero-padded decimal id, exactly `width` digits (≤ 64).
+    Decimal {
+        /// Total key length in digits; ids must fit, i.e. `id < 10^width`.
+        width: usize,
+    },
+    /// `https://example.com/u/` + 16 zero-padded hex digits of the id:
+    /// 38 bytes, fully head-tied, long shared prefix.
+    Url,
+}
+
+impl KeyShape {
+    /// Rendered key length in bytes (fixed per shape).
+    pub fn key_len(self) -> usize {
+        match self {
+            KeyShape::U64Be => 8,
+            KeyShape::Decimal { width } => width,
+            KeyShape::Url => URL_PREFIX.len() + 16,
+        }
+    }
+
+    /// Renders `id` as a byte-comparable key.
+    ///
+    /// # Panics
+    /// If a `Decimal` width exceeds [`MAX_KEY_LEN`] or cannot hold `id`.
+    pub fn render(self, id: u64) -> KeyBuf {
+        match self {
+            KeyShape::U64Be => KeyBuf::from_slice(&id.to_be_bytes()),
+            KeyShape::Decimal { width } => {
+                assert!(width <= MAX_KEY_LEN, "decimal width {width} > {MAX_KEY_LEN}");
+                let mut buf = [b'0'; MAX_KEY_LEN];
+                let digits = format_decimal(id, &mut buf[..width]);
+                assert!(digits <= width, "id {id} does not fit {width} digits");
+                KeyBuf::from_slice(&buf[..width])
+            }
+            KeyShape::Url => {
+                let mut buf = [0u8; MAX_KEY_LEN];
+                buf[..URL_PREFIX.len()].copy_from_slice(URL_PREFIX);
+                let mut v = id;
+                for i in (0..16).rev() {
+                    buf[URL_PREFIX.len() + i] = HEX[(v & 0xF) as usize];
+                    v >>= 4;
+                }
+                KeyBuf::from_slice(&buf[..URL_PREFIX.len() + 16])
+            }
+        }
+    }
+}
+
+const URL_PREFIX: &[u8] = b"https://example.com/u/";
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Writes `id` right-aligned into `out` (pre-filled with `'0'`); returns
+/// the digit count.
+fn format_decimal(mut id: u64, out: &mut [u8]) -> usize {
+    let mut digits = 0;
+    let mut at = out.len();
+    loop {
+        digits += 1;
+        if at == 0 {
+            return usize::MAX; // overflow: caller asserts
+        }
+        at -= 1;
+        out[at] = b'0' + (id % 10) as u8;
+        id /= 10;
+        if id == 0 {
+            return digits;
+        }
+    }
+}
 
 /// A key distribution over the key space `1..=n`.
 #[derive(Debug, Clone)]
@@ -299,6 +395,66 @@ mod tests {
         // Sanity on the magnitude itself: θ=0.99 over 10k keys puts ≈9–10%
         // of all draws on the single hottest key.
         assert!(p1 > 0.08 && p1 < 0.12, "zetan drifted: p1={p1}");
+    }
+
+    #[test]
+    fn key_shapes_are_order_preserving_and_fixed_length() {
+        let shapes = [
+            KeyShape::U64Be,
+            KeyShape::Decimal { width: 8 },
+            KeyShape::Decimal { width: 64 },
+            KeyShape::Url,
+        ];
+        let mut rng = SplitMix64::new(11);
+        for shape in shapes {
+            let mut ids: Vec<u64> = (0..500).map(|_| rng.next_key(10_000_000)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let keys: Vec<_> = ids.iter().map(|&id| shape.render(id)).collect();
+            for w in keys.windows(2) {
+                assert!(w[0] < w[1], "{shape:?} broke id order");
+            }
+            for k in &keys {
+                assert_eq!(k.as_slice().len(), shape.key_len(), "{shape:?} length");
+            }
+        }
+    }
+
+    /// Pins the 4-byte head discrimination of each shape over a realistic
+    /// id range (1..=10⁶): these rates are what the varkey-scale bench's
+    /// head-tie counters are interpreted against.
+    #[test]
+    fn key_shape_head_collision_rates_are_pinned() {
+        let distinct_heads = |shape: KeyShape| {
+            let mut rng = SplitMix64::new(12);
+            let mut heads = std::collections::HashSet::new();
+            for _ in 0..20_000 {
+                let k = shape.render(rng.next_key(1_000_000));
+                heads.insert(index_common::key_head(k.as_slice()));
+            }
+            heads.len()
+        };
+        // U64Be: ids < 2³² ⇒ the high 32 bits are all zero — one head.
+        assert_eq!(distinct_heads(KeyShape::U64Be), 1);
+        // Url: every key starts "http" — one head, ties always.
+        assert_eq!(distinct_heads(KeyShape::Url), 1);
+        // Decimal width 64: 58 leading zeros — one head, ties always.
+        assert_eq!(distinct_heads(KeyShape::Decimal { width: 64 }), 1);
+        // Decimal width 8: ids ≤ 10⁶ put digits 5–10 of the id into the
+        // tail, leaving heads "0000".."0100" — at most 101 coarse buckets
+        // of ~10⁴ ids each, so *within* a leaf heads still tie almost
+        // always while across the tree they discriminate coarsely.
+        let d8 = distinct_heads(KeyShape::Decimal { width: 8 });
+        assert!((50..=101).contains(&d8), "decimal-8 heads: {d8}");
+    }
+
+    #[test]
+    fn decimal_render_pads_and_rejects_overflow() {
+        let k = KeyShape::Decimal { width: 8 }.render(1234);
+        assert_eq!(k.as_slice(), b"00001234");
+        let k = KeyShape::Url.render(0xABC);
+        assert_eq!(k.as_slice(), b"https://example.com/u/0000000000000abc");
+        assert!(std::panic::catch_unwind(|| KeyShape::Decimal { width: 3 }.render(1234)).is_err());
     }
 
     #[test]

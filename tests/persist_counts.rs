@@ -192,3 +192,144 @@ fn fingerprints_are_rebuilt_by_clean_reopen() {
     }
     tree.verify_invariants().unwrap();
 }
+
+/// Var-key (byte-key) twin of the exact-count matrix: the heap-slotted
+/// leaf coalesces its record + directory-word flush into ONE
+/// `persist_many`, so every `*_k` modify op must cost exactly what the
+/// u64 op costs — insert 2, update 2, remove 1, find 0 — across the
+/// fingerprint, slot-variant, and page-cache dimensions.
+#[test]
+fn varlen_modify_persist_counts_are_exact_in_every_variant() {
+    for fingerprints in [true, false] {
+        for dual in [true, false] {
+            for cache_frames in [0usize, 64] {
+                let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+                let cfg = RnConfig {
+                    varlen_leaves: true,
+                    dual_slot: dual,
+                    fingerprints,
+                    journal_slots: 2,
+                    cache_frames,
+                    ..RnConfig::default()
+                };
+                let tree = RnTree::create(Arc::clone(&pool), cfg);
+                let tag = format!("varlen dual={dual} fp={fingerprints} cache={cache_frames}");
+                let key = |k: u64| format!("user/{k:04}").into_bytes();
+
+                // 20 inserts + 10 updates + 5 removes allocate 30 log
+                // entries and ~480 heap bytes in one leaf: no split or
+                // compaction can fire, so every op shows its exact cost.
+                for k in 1..=20u64 {
+                    let before = persists(&pool);
+                    tree.insert_k(&key(k), k * 3).unwrap();
+                    assert_eq!(persists(&pool) - before, 2, "insert_k {k} ({tag})");
+                }
+                for k in 1..=10u64 {
+                    let before = persists(&pool);
+                    tree.update_k(&key(k), k * 3 + 1).unwrap();
+                    assert_eq!(persists(&pool) - before, 2, "update_k {k} ({tag})");
+                }
+                for k in 16..=20u64 {
+                    let before = persists(&pool);
+                    tree.remove_k(&key(k)).unwrap();
+                    assert_eq!(persists(&pool) - before, 1, "remove_k {k} ({tag})");
+                }
+                let before = persists(&pool);
+                assert_eq!(tree.find_k(&key(5)), Some(16));
+                assert_eq!(tree.find_k(&key(12)), Some(36));
+                assert_eq!(tree.find_k(&key(18)), None);
+                assert_eq!(persists(&pool) - before, 0, "find_k persisted ({tag})");
+                tree.verify_invariants().unwrap();
+            }
+        }
+    }
+}
+
+/// Var-key failed conditionals mirror the u64 contract: a rejected
+/// insert/update has already flushed its record (1 persist) but must not
+/// touch the slot line; a missed remove persists nothing.
+#[test]
+fn varlen_failed_conditionals_do_not_touch_the_slot_line() {
+    let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+    let cfg = RnConfig {
+        varlen_leaves: true,
+        journal_slots: 2,
+        ..RnConfig::default()
+    };
+    let tree = RnTree::create(Arc::clone(&pool), cfg);
+    tree.insert_k(b"alpha", 1).unwrap();
+    let before = persists(&pool);
+    assert!(tree.insert_k(b"alpha", 2).is_err());
+    assert_eq!(persists(&pool) - before, 1, "duplicate insert_k");
+    let before = persists(&pool);
+    assert!(tree.update_k(b"omega", 9).is_err());
+    assert_eq!(persists(&pool) - before, 1, "missing update_k");
+    let before = persists(&pool);
+    assert!(tree.remove_k(b"omega").is_err());
+    assert_eq!(persists(&pool) - before, 0, "missing remove_k");
+}
+
+/// Var-key batch paths keep the amortised contract: `load_sorted_k` is
+/// 2 persists per built leaf plus the constant 3 journal persists, and
+/// `insert_batch_k` is 2 persists per touched leaf regardless of how
+/// many keys land in the leaf.
+#[test]
+fn varlen_batch_paths_keep_two_persists_per_leaf() {
+    for dual in [true, false] {
+        // Bulk load: 8-byte keys are slot-bound (heap budget admits far
+        // more than 63 such records), so leaves = ceil(n/63) as for u64.
+        for keys in [1u64, 63, 64, 200] {
+            let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 23)));
+            let cfg = RnConfig {
+                varlen_leaves: true,
+                dual_slot: dual,
+                journal_slots: 2,
+                ..RnConfig::default()
+            };
+            let tree = RnTree::create(Arc::clone(&pool), cfg);
+            let pairs: Vec<_> = (1..=keys)
+                .map(|k| (index_common::KeyBuf::from_slice(&(k * 7).to_be_bytes()), k))
+                .collect();
+            let leaves = keys.div_ceil(63);
+            let before = persists(&pool);
+            tree.load_sorted_k(&pairs).unwrap();
+            assert_eq!(
+                persists(&pool) - before,
+                2 * leaves + 3,
+                "load_sorted_k({keys}, dual={dual})"
+            );
+            assert_eq!(tree.stats().leaves, leaves);
+            assert_eq!(tree.stats().entries, keys);
+            for (k, v) in &pairs {
+                assert_eq!(tree.find_k(k.as_slice()), Some(*v), "key {k:?}");
+            }
+            tree.verify_invariants().unwrap();
+        }
+
+        // Single-leaf batch: 40 fresh keys, one coalesced record flush +
+        // one slot publish.
+        let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+        let cfg = RnConfig {
+            varlen_leaves: true,
+            dual_slot: dual,
+            journal_slots: 2,
+            ..RnConfig::default()
+        };
+        let tree = RnTree::create(Arc::clone(&pool), cfg);
+        let mut batch: Vec<_> = (1..=40u64)
+            .map(|k| (index_common::KeyBuf::from_slice(format!("k{k:03}").as_bytes()), k))
+            .collect();
+        let before = persists(&pool);
+        assert!(tree.insert_batch_k(&mut batch).into_iter().all(|r| r.is_ok()));
+        assert_eq!(persists(&pool) - before, 2, "single-leaf batch (dual={dual})");
+
+        // All-duplicate batch: nothing changed, nothing persisted.
+        let mut dups: Vec<_> = (1..=5u64)
+            .map(|k| (index_common::KeyBuf::from_slice(format!("k{k:03}").as_bytes()), 99))
+            .collect();
+        let before = persists(&pool);
+        assert!(tree.insert_batch_k(&mut dups).into_iter().all(|r| r.is_err()));
+        assert_eq!(persists(&pool) - before, 0, "all-dup batch (dual={dual})");
+        tree.verify_invariants().unwrap();
+    }
+}
