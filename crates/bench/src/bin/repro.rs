@@ -26,7 +26,11 @@
 //! `varkey-scale` (variable-length string-key workloads: asserts the
 //! `U64Key` codec path is not detectably slower than the native u64 API,
 //! and reports oracle-checked string-cell throughput with head-tie
-//! counters; written to `BENCH_PR7.json` or `--out PATH`).
+//! counters; written to `BENCH_PR7.json` or `--out PATH`), and
+//! `leaf-scale` (hash-leaf layout and adaptive morphing: asserts the
+//! hash leaf beats the sorted leaf on YCSB-C point lookups and that the
+//! adaptive policy tracks the best static layout on point-heavy and
+//! scan-heavy mixes; written to `BENCH_PR8.json` or `--out PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
 //! `--out PATH`, `--assert-overhead PCT` (obs-report only: fail the run
@@ -39,7 +43,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|varkey-scale|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|varkey-scale|leaf-scale|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH] [--assert-overhead PCT]"
     );
@@ -60,6 +64,7 @@ fn main() {
         "contention-scale" => "BENCH_PR5.json",
         "cache-scale" => "BENCH_PR6.json",
         "varkey-scale" => "BENCH_PR7.json",
+        "leaf-scale" => "BENCH_PR8.json",
         _ => "BENCH_PR1.json",
     });
     let mut assert_overhead: Option<f64> = None;
@@ -143,6 +148,7 @@ fn main() {
         "contention-scale" => bench::contbench::contention_scale(&scale, &out_path),
         "cache-scale" => bench::cachebench::cache_scale(&scale, &out_path),
         "varkey-scale" => bench::varbench::varkey_scale(&scale, &out_path),
+        "leaf-scale" => bench::leafbench::leaf_scale(&scale, &out_path),
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

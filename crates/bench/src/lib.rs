@@ -27,6 +27,7 @@ pub mod cachebench;
 pub mod contbench;
 pub mod experiments;
 pub mod harness;
+pub mod leafbench;
 pub mod microbench;
 pub mod obsbench;
 pub mod prbench;

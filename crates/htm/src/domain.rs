@@ -463,6 +463,35 @@ impl HtmDomain {
     pub fn atomic_infallible<'t, R>(&'t self, mut body: impl FnMut(&mut Txn<'t>) -> R) -> R {
         self.atomic(|txn| Ok(body(txn)))
     }
+
+    /// Runs `body` atomically for a section known in advance to exceed the
+    /// capacity model (e.g. a whole-node rewrite touching both slot lines
+    /// and every KV line). Goes straight to the tier-2 global fallback —
+    /// real RTM would burn an optimistic attempt only to take a guaranteed
+    /// capacity abort, and the learned-capacity hint would merely rediscover
+    /// that per call site. Explicit aborts from `body` retry under the lock.
+    ///
+    /// # Panics
+    /// Panics on nested atomic sections, like [`HtmDomain::atomic`].
+    #[track_caller]
+    pub fn atomic_capacity<'t, R>(&'t self, mut body: impl FnMut(&mut Txn<'t>) -> TxResult<R>) -> R {
+        IN_ATOMIC.with(|f| {
+            assert!(!f.get(), "nested HtmDomain::atomic on one thread");
+            f.set(true);
+        });
+        let _reset = ResetOnDrop;
+        let mut retries = 0u64;
+        loop {
+            if let Some(r) = self.run_global(&mut body) {
+                self.stats.retries.record(retries);
+                return r;
+            }
+            // Explicit abort under the lock: the body asked to be re-run
+            // (e.g. a precondition it re-checks each attempt failed).
+            retries += 1;
+            backoff(retries as u32, 0);
+        }
+    }
 }
 
 /// Result of a tier-1 (striped) fallback run.

@@ -386,6 +386,33 @@ pub trait RecoverableIndex: PersistentIndex + Sized {
     /// clean). Default: no-op, for trees whose persistent state is always
     /// complete.
     fn close(&self) {}
+
+    /// As [`create`], but surfacing invalid configurations as an error
+    /// message instead of a panic, so callers opening pools they did not
+    /// format (tools, shard sets) can report the mismatch. The error is a
+    /// rendered string because each tree has its own typed error; trees
+    /// with config validation override this, the default never fails.
+    ///
+    /// [`create`]: RecoverableIndex::create
+    fn try_create(pool: Arc<PmemPool>, cfg: Self::Config) -> Result<Self, String> {
+        Ok(Self::create(pool, cfg))
+    }
+
+    /// As [`recover`], with [`try_create`]'s error contract.
+    ///
+    /// [`recover`]: RecoverableIndex::recover
+    /// [`try_create`]: RecoverableIndex::try_create
+    fn try_recover(pool: Arc<PmemPool>, cfg: Self::Config) -> Result<Self, String> {
+        Ok(Self::recover(pool, cfg))
+    }
+
+    /// As [`reopen_clean`], with [`try_create`]'s error contract.
+    ///
+    /// [`reopen_clean`]: RecoverableIndex::reopen_clean
+    /// [`try_create`]: RecoverableIndex::try_create
+    fn try_reopen_clean(pool: Arc<PmemPool>, cfg: Self::Config) -> Result<Self, String> {
+        Ok(Self::reopen_clean(pool, cfg))
+    }
 }
 
 #[cfg(test)]

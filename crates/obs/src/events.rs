@@ -56,6 +56,9 @@ pub enum EventKind {
     /// Recovery: volatile inner index rebuilt: `a` = leaves indexed,
     /// `b` = 0.
     RecoveryIndex = 10,
+    /// A leaf morphed between layouts in place: `a` = leaf offset,
+    /// `b` = target layout tag (0 = sorted, 1 = hash).
+    Morph = 13,
 }
 
 impl EventKind {
@@ -74,6 +77,7 @@ impl EventKind {
             EventKind::RecoveryIndex => "recovery_index",
             EventKind::CacheEvict => "cache_evict",
             EventKind::CacheInvalidate => "cache_invalidate",
+            EventKind::Morph => "morph",
         }
     }
 
@@ -91,6 +95,7 @@ impl EventKind {
             10 => EventKind::RecoveryIndex,
             11 => EventKind::CacheEvict,
             12 => EventKind::CacheInvalidate,
+            13 => EventKind::Morph,
             _ => None?,
         })
     }

@@ -129,6 +129,17 @@ impl FpTable {
         None
     }
 
+    /// Single-entry filter for the hash-leaf directory probe: `true` when
+    /// `entry`'s recorded fingerprint matches `want` (or the table is
+    /// disabled, in which case the caller falls through to a key compare).
+    #[inline]
+    pub(crate) fn check(&self, leaf_off: u64, entry: usize, want: u8) -> bool {
+        if self.bytes.is_empty() {
+            return true;
+        }
+        self.bytes[self.idx(leaf_off, entry)].load(Ordering::Relaxed) == want
+    }
+
     /// Prefetch hint for this leaf's fingerprint stripe (one cache line).
     /// The table is sized in whole-stripe units, so the stripe is
     /// contiguous; at bench scale it is too large to stay cached, making

@@ -63,6 +63,19 @@ impl<'p> Leaf<'p> {
         self.pool.atomic_u64(self.off + field::LOCKVER)
     }
 
+    /// Single-shot lock attempt (no spin): used by the opportunistic morph
+    /// trigger, which would rather skip a morph than serialize behind a
+    /// writer on the read path.
+    pub(crate) fn try_lock(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let cur = self.lockver().load(Ordering::Acquire);
+        !LeafVersion::locked(cur)
+            && self
+                .lockver()
+                .compare_exchange(cur, cur | LeafVersion::LOCK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+    }
+
     /// Acquires the leaf spin lock.
     pub(crate) fn lock(&self) {
         use std::sync::atomic::Ordering;
@@ -183,6 +196,20 @@ impl<'p> Leaf<'p> {
 
     pub(crate) fn set_fence(&self, v: u64) {
         self.pool.store_u64_release(self.off + field::FENCE, v);
+    }
+
+    /// Per-leaf layout tag (`LAYOUT_SORTED` / `LAYOUT_HASH`). Readers load
+    /// it after `stable_version` and revalidate, so a tag mid-morph is
+    /// discarded the same way a torn slot snapshot is.
+    pub(crate) fn layout(&self) -> u64 {
+        self.pool.load_u64_acquire(self.off + field::LAYOUT)
+    }
+
+    /// Rewrites the layout tag. Only called inside journaled rewrites
+    /// (morph, split, bulk load) with the leaf private or lock+split held,
+    /// and made durable by the rewrite's own header/block persist.
+    pub(crate) fn set_layout(&self, v: u64) {
+        self.pool.store_u64_release(self.off + field::LAYOUT, v);
     }
 
     // ---- log-entry allocation (Algorithm 2) ------------------------------
@@ -360,27 +387,37 @@ impl<'p> Leaf<'p> {
 
     // ---- initialisation ------------------------------------------------------
 
-    /// Formats this block as an empty leaf and persists it.
+    /// Formats this block as an empty leaf and persists it. The layout tag
+    /// is explicitly cleared to `LAYOUT_SORTED`: blocks can be recycled and
+    /// must not inherit a stale hash tag.
     pub(crate) fn init_empty(&self, fence: u64, next: u64) {
         self.reset_lockver();
         self.set_plogs(0);
         self.set_next(next);
         self.set_fence(fence);
+        self.set_layout(crate::layout::LAYOUT_SORTED);
         self.write_slot_seq(WhichSlot::Persistent, &SlotBuf::new());
         self.write_slot_seq(WhichSlot::Transient, &SlotBuf::new());
         self.pool.persist(self.off, field::TSLOT); // header + pslot lines
     }
 
-    /// Formats this block with `pairs` stored densely in key order and
-    /// persists the whole node. Used for the right half of a split while
-    /// the node is still private to the splitting thread.
-    pub(crate) fn init_from_pairs(&self, pairs: &[(u64, u64)], fence: u64, next: u64) {
+    /// Formats this block with `pairs` stored densely in key order under
+    /// the given layout tag (`LAYOUT_SORTED` → identity slot array,
+    /// `LAYOUT_HASH` → rebuilt hash directory) and persists the whole node.
+    /// Used for the right half of a split while the node is still private
+    /// to the splitting thread.
+    pub(crate) fn init_from_pairs(&self, pairs: &[(u64, u64)], fence: u64, next: u64, layout: u64) {
         debug_assert!(pairs.len() <= crate::layout::MAX_LIVE);
         self.reset_lockver();
         for (i, &(k, v)) in pairs.iter().enumerate() {
             self.write_kv(i, k, v);
         }
-        let slot = SlotBuf::identity(pairs.len());
+        let slot = if layout == crate::layout::LAYOUT_HASH {
+            let fps: Vec<u8> = pairs.iter().map(|&(k, _)| crate::fingerprint::fp_hash(k)).collect();
+            crate::hashleaf::HashDir::build(&fps).to_slot()
+        } else {
+            SlotBuf::identity(pairs.len())
+        };
         self.write_slot_seq(WhichSlot::Persistent, &slot);
         self.write_slot_seq(WhichSlot::Transient, &slot);
         self.set_nlogs(pairs.len() as u64);
@@ -388,6 +425,7 @@ impl<'p> Leaf<'p> {
         debug_assert_eq!(self.nlogs(), pairs.len() as u64);
         self.set_next(next);
         self.set_fence(fence);
+        self.set_layout(layout);
         self.persist_all();
     }
 
@@ -510,7 +548,7 @@ mod tests {
         let p = pool();
         let l = Leaf::at(&p, 2048);
         let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i * 5 + 5, i)).collect();
-        l.init_from_pairs(&pairs, 999, 4096);
+        l.init_from_pairs(&pairs, 999, 4096, crate::layout::LAYOUT_SORTED);
         let s = l.read_slot_seq(WhichSlot::Persistent);
         assert_eq!(s.len(), 10);
         assert_eq!(l.collect_pairs(&s), pairs);
@@ -521,5 +559,28 @@ mod tests {
         p.simulate_crash();
         let s = l.read_slot_seq(WhichSlot::Persistent);
         assert_eq!(l.collect_pairs(&s), pairs);
+    }
+
+    #[test]
+    fn init_from_pairs_hash_layout_builds_directory() {
+        use crate::hashleaf::HashDir;
+        let p = pool();
+        let l = Leaf::at(&p, 2048);
+        let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i * 5 + 5, i)).collect();
+        l.init_from_pairs(&pairs, 999, 4096, crate::layout::LAYOUT_HASH);
+        assert_eq!(l.layout(), crate::layout::LAYOUT_HASH);
+        let d = HashDir::from_slot(l.read_slot_seq(WhichSlot::Persistent));
+        assert_eq!(d.len(), 10);
+        for (e, &(k, v)) in pairs.iter().enumerate() {
+            let mut steps = 0;
+            let hit = d
+                .find(crate::fingerprint::fp_hash(k), |c| l.read_key(c) == k, &mut steps)
+                .expect("key present");
+            assert_eq!(hit.entry, e);
+            assert_eq!(l.read_value(hit.entry), v);
+        }
+        // Tag survives a crash (it sits in the persisted header line).
+        p.simulate_crash();
+        assert_eq!(l.layout(), crate::layout::LAYOUT_HASH);
     }
 }

@@ -55,6 +55,7 @@
 #![deny(missing_docs)]
 
 mod fingerprint;
+mod hashleaf;
 mod journal;
 mod layout;
 mod leaf;
@@ -66,9 +67,11 @@ mod varleaf;
 mod vartree;
 mod version;
 
+pub use hashleaf::HashDir;
 pub use journal::SplitJournal;
 pub use report::SpaceReport;
-pub use layout::{LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
+pub use layout::{LAYOUT_HASH, LAYOUT_SORTED, LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
+pub use recovery::ConfigError;
 pub use slots::SlotBuf;
-pub use tree::{RnConfig, RnStats, RnTree};
+pub use tree::{LeafPolicy, RnConfig, RnStats, RnTree};
 pub use version::LeafVersion;

@@ -24,17 +24,111 @@ use index_common::{leaf_ref, InnerIndex, Key, KeyBuf};
 use nvm::{PageCache, PmemPool, RootTable};
 use obs::{EventKind, PhaseTimers};
 
-use crate::fingerprint::{fp_hash_bytes, FpTable};
+use crate::fingerprint::{fp_hash, fp_hash_bytes, FpTable};
+use crate::hashleaf::HashDir;
 use crate::layout::varlen::{round8, vfield};
-use crate::layout::LEAF_CAPACITY;
+use crate::layout::{LAYOUT_HASH, LEAF_CAPACITY};
 use crate::leaf::{Leaf, WhichSlot};
-use crate::tree::{roots, RnConfig, RnTree, MAGIC};
+use crate::slots::SlotBuf;
+use crate::tree::{roots, LeafPolicy, OpMix, RnConfig, RnTree, MAGIC};
 use crate::varleaf::VarLeaf;
 use crate::vartree::KEY_TOP;
 
+/// A pool/config disagreement detected while opening or formatting a
+/// pool: the layout-affecting `RnConfig` flags are recorded in the pool's
+/// root table at create time, and every open validates them against the
+/// config it was handed before touching a single leaf. The panicking
+/// constructors ([`RnTree::create`], [`RnTree::recover`],
+/// [`RnTree::reopen_clean`]) wrap the `try_` variants and panic with the
+/// `Display` text below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The magic root word does not identify an RNTree pool.
+    BadMagic {
+        /// The word found where the RNTree magic was expected.
+        found: u64,
+    },
+    /// The pool was formatted with a different journal-slot count; the
+    /// journal region size (and thus the leaf region base) would differ.
+    JournalSlotsMismatch {
+        /// Slot count recorded in the pool.
+        pool: u64,
+        /// Slot count the config asked for.
+        cfg: u64,
+    },
+    /// The pool's leaf block family (u64 vs variable-length) differs from
+    /// the config's `varlen_leaves` flag.
+    VarlenMismatch {
+        /// True when the pool holds variable-length leaves.
+        pool: bool,
+        /// The config's `varlen_leaves` flag.
+        cfg: bool,
+    },
+    /// The pool's recorded [`LeafPolicy`] differs from the config's (or is
+    /// a word this build does not know). The policy decides how much
+    /// defensive revalidation readers perform, so create and open must
+    /// agree exactly.
+    LeafPolicyMismatch {
+        /// Raw root word recorded in the pool.
+        pool: u64,
+        /// Policy the config asked for.
+        cfg: LeafPolicy,
+    },
+    /// The requested flag combination has no on-pool representation:
+    /// variable-length leaves exist only in the sorted layout.
+    PolicyUnsupported {
+        /// The offending policy.
+        policy: LeafPolicy,
+    },
+    /// `reopen_clean` on a pool whose clean-shutdown flag is unset.
+    NotCleanlyClosed,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::BadMagic { found } => {
+                write!(f, "pool is not an RNTree (magic word {found:#x})")
+            }
+            ConfigError::JournalSlotsMismatch { pool, cfg } => write!(
+                f,
+                "journal_slots mismatch with on-pool layout (pool {pool}, config {cfg})"
+            ),
+            ConfigError::VarlenMismatch { pool, cfg } => write!(
+                f,
+                "varlen_leaves mismatch with on-pool layout (pool {pool}, config {cfg})"
+            ),
+            ConfigError::LeafPolicyMismatch { pool, cfg } => write!(
+                f,
+                "leaf_policy mismatch with on-pool layout (pool word {pool}, config {cfg:?})"
+            ),
+            ConfigError::PolicyUnsupported { policy } => write!(
+                f,
+                "leaf_policy {policy:?} requires the u64 leaf family (varlen_leaves = false)"
+            ),
+            ConfigError::NotCleanlyClosed => {
+                write!(f, "pool not cleanly closed; use RnTree::recover")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl RnTree {
     /// Formats `pool` with a fresh, empty RNTree.
+    ///
+    /// # Panics
+    /// Panics on an unrepresentable flag combination (see
+    /// [`RnTree::try_create`] for the typed-error variant).
     pub fn create(pool: Arc<PmemPool>, cfg: RnConfig) -> RnTree {
+        Self::try_create(pool, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`RnTree::create`], returning configuration errors instead of
+    /// panicking.
+    pub fn try_create(pool: Arc<PmemPool>, cfg: RnConfig) -> Result<RnTree, ConfigError> {
+        Self::validate_policy(&cfg)?;
         let (alloc, journal) = Self::make_parts(&pool, &cfg);
         journal.format(&pool);
 
@@ -43,7 +137,15 @@ impl RnTree {
             // Empty low fence, +∞ high fence: the leaf covers everything.
             VarLeaf::at(&pool, first).init_empty(&[], None, 0);
         } else {
-            Leaf::at(&pool, first).init_empty(u64::MAX, 0);
+            let leaf = Leaf::at(&pool, first);
+            leaf.init_empty(u64::MAX, 0);
+            if cfg.leaf_policy == LeafPolicy::Hash {
+                // Hash-policy pools are born hashed. An empty directory is
+                // bit-identical to an empty slot array, so only the header
+                // tag changes; re-persist the header line that carries it.
+                leaf.set_layout(LAYOUT_HASH);
+                leaf.persist_header();
+            }
         }
 
         RootTable::set_volatile(&pool, roots::LEFTMOST, first);
@@ -51,6 +153,7 @@ impl RnTree {
         RootTable::set_volatile(&pool, roots::JOURNAL_SLOTS, cfg.journal_slots as u64);
         RootTable::set_volatile(&pool, roots::LEAF_REGION, Self::leaf_region_start(&cfg));
         RootTable::set_volatile(&pool, roots::VARLEN, cfg.varlen_leaves as u64);
+        RootTable::set_volatile(&pool, roots::LEAF_POLICY, cfg.leaf_policy.as_root_word());
         RootTable::set_volatile(&pool, roots::CLEAN, 0);
         RootTable::persist(&pool);
 
@@ -67,7 +170,8 @@ impl RnTree {
             // recovery must never trust (or rebuild from) its contents.
             index.attach_cache(Arc::new(PageCache::new(cfg.cache_frames, Some(pool.events_handle()))));
         }
-        RnTree {
+        let opmix = Self::make_opmix(&pool, &cfg);
+        Ok(RnTree {
             pool,
             alloc,
             index,
@@ -81,28 +185,110 @@ impl RnTree {
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
             leaf_head_ties: AtomicU64::new(0),
+            opmix,
+            morphs_to_hash: AtomicU64::new(0),
+            morphs_to_sorted: AtomicU64::new(0),
+            morphs_skipped: AtomicU64::new(0),
+            probe_hist: obs::AtomicHistogram::new(),
             timers: PhaseTimers::new(),
-        }
+        })
     }
 
-    fn check_magic(pool: &PmemPool, cfg: &RnConfig) {
-        assert_eq!(RootTable::get(pool, roots::MAGIC), MAGIC, "pool is not an RNTree");
-        assert_eq!(
-            RootTable::get(pool, roots::JOURNAL_SLOTS),
-            cfg.journal_slots as u64,
-            "journal_slots mismatch with on-pool layout"
-        );
-        assert_eq!(
-            RootTable::get(pool, roots::VARLEN),
-            cfg.varlen_leaves as u64,
-            "varlen_leaves mismatch with on-pool layout"
-        );
+    /// Flag combinations with no on-pool representation: the 4096-byte
+    /// variable-length block family exists only in the sorted layout.
+    fn validate_policy(cfg: &RnConfig) -> Result<(), ConfigError> {
+        if cfg.varlen_leaves && cfg.leaf_policy != LeafPolicy::Sorted {
+            return Err(ConfigError::PolicyUnsupported { policy: cfg.leaf_policy });
+        }
+        Ok(())
+    }
+
+    /// The adaptive policy's op-mix table; empty (no memory, record calls
+    /// no-op) under every other policy.
+    fn make_opmix(pool: &PmemPool, cfg: &RnConfig) -> OpMix {
+        OpMix::new(
+            Self::leaf_region_start(cfg),
+            pool.len(),
+            Self::leaf_block(cfg),
+            cfg.leaf_policy == LeafPolicy::Adaptive && !cfg.varlen_leaves,
+        )
+    }
+
+    /// Validates every layout-affecting config flag against the root words
+    /// the pool was formatted with.
+    fn check_config(pool: &PmemPool, cfg: &RnConfig) -> Result<(), ConfigError> {
+        Self::validate_policy(cfg)?;
+        let magic = RootTable::get(pool, roots::MAGIC);
+        if magic != MAGIC {
+            return Err(ConfigError::BadMagic { found: magic });
+        }
+        let slots = RootTable::get(pool, roots::JOURNAL_SLOTS);
+        if slots != cfg.journal_slots as u64 {
+            return Err(ConfigError::JournalSlotsMismatch { pool: slots, cfg: cfg.journal_slots as u64 });
+        }
+        let varlen = RootTable::get(pool, roots::VARLEN);
+        if varlen != cfg.varlen_leaves as u64 {
+            return Err(ConfigError::VarlenMismatch { pool: varlen != 0, cfg: cfg.varlen_leaves });
+        }
+        // Old pools predate the policy word and read 0 = Sorted, exactly
+        // the layout their leaves have.
+        let policy = RootTable::get(pool, roots::LEAF_POLICY);
+        if LeafPolicy::from_root_word(policy) != Some(cfg.leaf_policy) {
+            return Err(ConfigError::LeafPolicyMismatch { pool: policy, cfg: cfg.leaf_policy });
+        }
+        Ok(())
+    }
+
+    /// Reads a u64 leaf's persistent slot line and interprets it per the
+    /// leaf's layout tag: yields the raw line (for the tslot copy), the
+    /// recomputed `nlogs` (max referenced log index + 1, paper §6.2.6 —
+    /// entries above it were never acknowledged and are safely reusable)
+    /// and the maximum live key (the leaf's index route), re-deriving the
+    /// transient fingerprints along the way. Shared by crash recovery and
+    /// clean reopen.
+    fn scan_u64_leaf(pool: &PmemPool, fps: &FpTable, off: u64) -> (SlotBuf, u64, Option<u64>) {
+        let leaf = Leaf::at(pool, off);
+        let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+        if leaf.layout() == LAYOUT_HASH {
+            // Hash directory: entries live wherever their fingerprint
+            // probed to, so both `nlogs` and the max key need a full walk.
+            let mut nlogs = 0u64;
+            let mut max_key = None;
+            for e in HashDir::from_slot(slot).iter() {
+                nlogs = nlogs.max(e as u64 + 1);
+                let k = leaf.read_key(e);
+                if max_key.is_none_or(|m| k > m) {
+                    max_key = Some(k);
+                }
+                if !fps.is_disabled() {
+                    fps.set(off, e, fp_hash(k));
+                }
+            }
+            (slot, nlogs, max_key)
+        } else {
+            let nlogs = slot.iter().map(|e| e as u64 + 1).max().unwrap_or(0);
+            if !fps.is_disabled() {
+                fps.rebuild_leaf(&leaf, &slot);
+            }
+            let max_key = (!slot.is_empty()).then(|| leaf.read_key(slot.entry(slot.len() - 1)));
+            (slot, nlogs, max_key)
+        }
     }
 
     /// Crash recovery: journal replay + full per-leaf scratch reset +
     /// index and allocator rebuild.
+    ///
+    /// # Panics
+    /// Panics when the pool's root words disagree with `cfg` (see
+    /// [`RnTree::try_recover`] for the typed-error variant).
     pub fn recover(pool: Arc<PmemPool>, cfg: RnConfig) -> RnTree {
-        Self::check_magic(&pool, &cfg);
+        Self::try_recover(pool, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`RnTree::recover`], returning configuration errors instead of
+    /// panicking.
+    pub fn try_recover(pool: Arc<PmemPool>, cfg: RnConfig) -> Result<RnTree, ConfigError> {
+        Self::check_config(&pool, &cfg)?;
         let (alloc, journal) = Self::make_parts(&pool, &cfg);
         // Every recovery step lands in the pool's event ring, so a
         // post-crash `simulate_crash` forensics dump shows the full
@@ -128,21 +314,14 @@ impl RnTree {
             }
             let leaf = Leaf::at(&pool, off);
             leaf.reset_lockver();
-            let slot = leaf.read_slot_seq(WhichSlot::Persistent);
-            // nlogs := max referenced log index + 1 (paper §6.2.6). Entries
-            // above it were never acknowledged and are safely reusable.
-            let nlogs = slot.iter().map(|e| e as u64 + 1).max().unwrap_or(0);
+            // The fingerprint table is transient scratch like the tslot:
+            // the scan re-derives it from the recovered persistent line.
+            let (slot, nlogs, max_key) = Self::scan_u64_leaf(&pool, &fps, off);
             debug_assert!(nlogs <= LEAF_CAPACITY as u64);
             leaf.set_nlogs(nlogs);
             leaf.set_plogs(nlogs);
             leaf.write_slot_seq(WhichSlot::Transient, &slot);
-            // The fingerprint table is transient scratch like the tslot:
-            // re-derive it from the recovered persistent slot array.
-            if !fps.is_disabled() {
-                fps.rebuild_leaf(&leaf, &slot);
-            }
-            if !slot.is_empty() {
-                let max_key = leaf.read_key(slot.entry(slot.len() - 1));
+            if let Some(max_key) = max_key {
                 pairs.push((max_key, leaf_ref(off)));
             }
             off = leaf.next();
@@ -171,7 +350,8 @@ impl RnTree {
             index.bulk_build(&pairs);
         }
         pool.events().record(EventKind::RecoveryIndex, entries, 0);
-        RnTree {
+        let opmix = Self::make_opmix(&pool, &cfg);
+        Ok(RnTree {
             pool,
             alloc,
             index,
@@ -185,8 +365,13 @@ impl RnTree {
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
             leaf_head_ties: AtomicU64::new(0),
+            opmix,
+            morphs_to_hash: AtomicU64::new(0),
+            morphs_to_sorted: AtomicU64::new(0),
+            morphs_skipped: AtomicU64::new(0),
+            probe_hist: obs::AtomicHistogram::new(),
             timers: PhaseTimers::new(),
-        }
+        })
     }
 
     /// Per-leaf crash-recovery reset for the variable-length layout: the
@@ -245,14 +430,20 @@ impl RnTree {
     /// the persisted leaf headers and only rebuilds the volatile levels.
     ///
     /// # Panics
-    /// Panics if the pool was not closed cleanly (use [`RnTree::recover`]).
+    /// Panics if the pool was not closed cleanly (use [`RnTree::recover`])
+    /// or the root words disagree with `cfg` (see
+    /// [`RnTree::try_reopen_clean`] for the typed-error variant).
     pub fn reopen_clean(pool: Arc<PmemPool>, cfg: RnConfig) -> RnTree {
-        Self::check_magic(&pool, &cfg);
-        assert_eq!(
-            RootTable::get(&pool, roots::CLEAN),
-            1,
-            "pool not cleanly closed; use RnTree::recover"
-        );
+        Self::try_reopen_clean(pool, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`RnTree::reopen_clean`], returning configuration errors instead
+    /// of panicking.
+    pub fn try_reopen_clean(pool: Arc<PmemPool>, cfg: RnConfig) -> Result<RnTree, ConfigError> {
+        Self::check_config(&pool, &cfg)?;
+        if RootTable::get(&pool, roots::CLEAN) != 1 {
+            return Err(ConfigError::NotCleanlyClosed);
+        }
         let (alloc, journal) = Self::make_parts(&pool, &cfg);
 
         let fps = FpTable::new(Self::leaf_region_start(&cfg), pool.len(), Self::leaf_block(&cfg), cfg.fingerprints);
@@ -269,13 +460,9 @@ impl RnTree {
                 continue;
             }
             let leaf = Leaf::at(&pool, off);
-            let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+            let (slot, _nlogs, max_key) = Self::scan_u64_leaf(&pool, &fps, off);
             leaf.write_slot_seq(WhichSlot::Transient, &slot);
-            if !fps.is_disabled() {
-                fps.rebuild_leaf(&leaf, &slot);
-            }
-            if !slot.is_empty() {
-                let max_key = leaf.read_key(slot.entry(slot.len() - 1));
+            if let Some(max_key) = max_key {
                 pairs.push((max_key, leaf_ref(off)));
             }
             off = leaf.next();
@@ -300,7 +487,8 @@ impl RnTree {
         } else if !pairs.is_empty() {
             index.bulk_build(&pairs);
         }
-        RnTree {
+        let opmix = Self::make_opmix(&pool, &cfg);
+        Ok(RnTree {
             pool,
             alloc,
             index,
@@ -314,8 +502,13 @@ impl RnTree {
             wasted: AtomicU64::new(0),
             pool_exhausted: AtomicBool::new(false),
             leaf_head_ties: AtomicU64::new(0),
+            opmix,
+            morphs_to_hash: AtomicU64::new(0),
+            morphs_to_sorted: AtomicU64::new(0),
+            morphs_skipped: AtomicU64::new(0),
+            probe_hist: obs::AtomicHistogram::new(),
             timers: PhaseTimers::new(),
-        }
+        })
     }
 
     /// Clean shutdown: persists every leaf's header line (making `nlogs`,
@@ -357,6 +550,18 @@ impl index_common::RecoverableIndex for RnTree {
 
     fn close(&self) {
         RnTree::close(self)
+    }
+
+    fn try_create(pool: Arc<PmemPool>, cfg: RnConfig) -> Result<Self, String> {
+        RnTree::try_create(pool, cfg).map_err(|e| e.to_string())
+    }
+
+    fn try_recover(pool: Arc<PmemPool>, cfg: RnConfig) -> Result<Self, String> {
+        RnTree::try_recover(pool, cfg).map_err(|e| e.to_string())
+    }
+
+    fn try_reopen_clean(pool: Arc<PmemPool>, cfg: RnConfig) -> Result<Self, String> {
+        RnTree::try_reopen_clean(pool, cfg).map_err(|e| e.to_string())
     }
 }
 
@@ -574,6 +779,64 @@ mod tests {
             assert_eq!(tree.find(k), Some(k));
         }
         tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn hash_policy_pool_survives_crash_and_clean_reopen() {
+        let pool = new_pool(1 << 22);
+        let c = RnConfig {
+            leaf_policy: LeafPolicy::Hash,
+            ..cfg()
+        };
+        let tree = RnTree::create(Arc::clone(&pool), c);
+        for k in 1..=300u64 {
+            tree.insert(k, k * 3).unwrap();
+        }
+        drop(tree);
+        pool.simulate_crash();
+        let tree = RnTree::recover(Arc::clone(&pool), c);
+        for k in 1..=300u64 {
+            assert_eq!(tree.find(k), Some(k * 3), "key {k} lost in crash");
+        }
+        tree.verify_invariants().unwrap();
+        tree.close();
+        drop(tree);
+        let tree = RnTree::reopen_clean(pool, c);
+        for k in 1..=300u64 {
+            assert_eq!(tree.find(k), Some(k * 3));
+        }
+        tree.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn leaf_policy_mismatch_is_a_typed_error() {
+        let pool = new_pool(1 << 22);
+        let c = RnConfig {
+            leaf_policy: LeafPolicy::Hash,
+            ..cfg()
+        };
+        let tree = RnTree::create(Arc::clone(&pool), c);
+        tree.insert(1, 1).unwrap();
+        drop(tree);
+        pool.simulate_crash();
+        let err = RnTree::try_recover(pool, cfg()).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::LeafPolicyMismatch { pool: 1, cfg: LeafPolicy::Sorted }
+        );
+    }
+
+    #[test]
+    fn varlen_pools_reject_hash_policies() {
+        for policy in [LeafPolicy::Hash, LeafPolicy::Adaptive] {
+            let c = RnConfig {
+                varlen_leaves: true,
+                leaf_policy: policy,
+                ..cfg()
+            };
+            let err = RnTree::try_create(new_pool(1 << 22), c).unwrap_err();
+            assert_eq!(err, ConfigError::PolicyUnsupported { policy });
+        }
     }
 
     #[test]

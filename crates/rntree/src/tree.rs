@@ -37,9 +37,10 @@ use nvm::{BlockAllocator, PmemPool, RootTable};
 use obs::{EventKind, ObsSource, Phase, PhaseTimers, Section};
 
 use crate::fingerprint::{fp_hash, FpTable};
+use crate::hashleaf::HashDir;
 use crate::journal::SplitJournal;
 use crate::layout::varlen::VAR_LEAF_BLOCK;
-use crate::layout::{field, kv_off, LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
+use crate::layout::{field, kv_off, LAYOUT_HASH, LAYOUT_SORTED, LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
 use crate::leaf::{Leaf, WhichSlot};
 use crate::slots::SlotBuf;
 
@@ -62,6 +63,59 @@ pub(crate) mod roots {
     /// blocks), 0 = fixed u64 leaves. Written at create, checked on every
     /// open — the two layouts are not interchangeable on one pool.
     pub const VARLEN: usize = 5;
+    /// Leaf-policy selector ([`super::LeafPolicy`] as a root word: 0 =
+    /// sorted, 1 = hash, 2 = adaptive). Written at create, checked on
+    /// every open: the policy decides how readers must defend against
+    /// concurrent layout changes, so create and open must agree.
+    pub const LEAF_POLICY: usize = 6;
+}
+
+/// Per-pool leaf layout policy: which slot-line organisation leaves use
+/// and whether they may change it at runtime.
+///
+/// The policy is a pool-wide contract recorded in the root table (see
+/// `roots::LEAF_POLICY`): it decides how much defensive revalidation
+/// readers need. Under [`LeafPolicy::Sorted`] and [`LeafPolicy::Hash`] a
+/// leaf's layout tag never changes after the leaf is built, so readers
+/// interpret snapshots with no extra checks; under
+/// [`LeafPolicy::Adaptive`] any leaf may morph between the sorted array
+/// and the hash directory at any time, and readers revalidate the leaf
+/// version between snapshotting the slot line and interpreting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafPolicy {
+    /// Every leaf keeps the paper's sorted slot array (the default; every
+    /// pre-existing pool reads back as this).
+    #[default]
+    Sorted,
+    /// Every leaf uses the hash directory (`hashleaf.rs`) from creation:
+    /// O(1) expected point ops, scans materialize-and-sort per leaf.
+    Hash,
+    /// Leaves start sorted and morph per node between sorted and hash,
+    /// driven by that leaf's decayed point:scan mix. Requires the u64
+    /// leaf family (`varlen_leaves` must be off).
+    Adaptive,
+}
+
+impl LeafPolicy {
+    /// Root-table encoding (stable across versions; 0 keeps old pools
+    /// valid as `Sorted`).
+    pub(crate) fn as_root_word(self) -> u64 {
+        match self {
+            LeafPolicy::Sorted => 0,
+            LeafPolicy::Hash => 1,
+            LeafPolicy::Adaptive => 2,
+        }
+    }
+
+    /// Decodes a root word written by [`Self::as_root_word`].
+    pub(crate) fn from_root_word(w: u64) -> Option<LeafPolicy> {
+        match w {
+            0 => Some(LeafPolicy::Sorted),
+            1 => Some(LeafPolicy::Hash),
+            2 => Some(LeafPolicy::Adaptive),
+            _ => None,
+        }
+    }
 }
 
 /// RNTree construction options.
@@ -131,6 +185,13 @@ pub struct RnConfig {
     /// [`index_common::U64Key`] codec. The flag is recorded in the pool's
     /// root table; create and open must agree.
     pub varlen_leaves: bool,
+    /// Leaf layout policy (see [`LeafPolicy`]): pool-wide sorted (the
+    /// default), pool-wide hash, or per-node adaptive morphing between
+    /// the two driven by the decayed point:scan mix. Recorded in the
+    /// pool's root table; create and open must agree. Incompatible with
+    /// `varlen_leaves` except as `Sorted` — the 4096-byte var block
+    /// family has no hash representation.
+    pub leaf_policy: LeafPolicy,
 }
 
 impl Default for RnConfig {
@@ -146,6 +207,7 @@ impl Default for RnConfig {
             striped_fallback: true,
             cache_frames: 1024,
             varlen_leaves: false,
+            leaf_policy: LeafPolicy::default(),
         }
     }
 }
@@ -179,6 +241,81 @@ pub struct RnStats {
     pub wasted_entries: u64,
 }
 
+/// Ops observed per leaf before the adaptive policy re-evaluates that
+/// leaf's layout.
+const OPMIX_WINDOW: u64 = 256;
+
+/// DRAM-side per-leaf operation-mix counters for [`LeafPolicy::Adaptive`]:
+/// one atomic word per leaf block packing point ops (high 32 bits) and
+/// scan visits (low 32 bits). Purely transient, like the fingerprint
+/// table: recovery starts it zeroed and leaves re-earn their layout.
+///
+/// Every [`OPMIX_WINDOW`] ops the deciding thread halves both counters
+/// (an exponentially-decayed window, so a leaf whose workload shifts
+/// re-converges instead of being pinned by ancient history) and returns a
+/// layout wish. The thresholds are deliberately asymmetric (point-heavy
+/// ≥ 15/16 points for hash, scan share ≥ 1/4 for sorted) so a leaf
+/// oscillating near one boundary does not thrash between layouts.
+pub(crate) struct OpMix {
+    base: u64,
+    block: u64,
+    words: Box<[AtomicU64]>,
+}
+
+impl OpMix {
+    /// Table covering `block`-sized leaf blocks in `[base, pool_len)`;
+    /// with `enabled` false an empty table is built (no memory, and every
+    /// record call is a no-op returning no wish).
+    pub(crate) fn new(base: u64, pool_len: u64, block: u64, enabled: bool) -> OpMix {
+        let blocks = if enabled { ((pool_len - base) / block) as usize } else { 0 };
+        let mut v = Vec::with_capacity(blocks);
+        v.resize_with(blocks, || AtomicU64::new(0));
+        OpMix { base, block, words: v.into_boxed_slice() }
+    }
+
+    /// Counts one point op (lookup or write) on the leaf; returns the
+    /// layout this leaf should now have, if a window just closed.
+    #[inline]
+    pub(crate) fn record_point(&self, leaf_off: u64) -> Option<u64> {
+        self.record(leaf_off, 1 << 32)
+    }
+
+    /// Counts one scan visit of the leaf.
+    #[inline]
+    pub(crate) fn record_scan(&self, leaf_off: u64) -> Option<u64> {
+        self.record(leaf_off, 1)
+    }
+
+    #[inline]
+    fn record(&self, leaf_off: u64, delta: u64) -> Option<u64> {
+        if self.words.is_empty() {
+            return None;
+        }
+        debug_assert!(leaf_off >= self.base && (leaf_off - self.base).is_multiple_of(self.block));
+        let w = &self.words[((leaf_off - self.base) / self.block) as usize];
+        let cur = w.fetch_add(delta, Ordering::Relaxed).wrapping_add(delta);
+        let (points, scans) = (cur >> 32, cur & 0xFFFF_FFFF);
+        let total = points + scans;
+        if total < OPMIX_WINDOW {
+            return None;
+        }
+        // One thread wins the decay CAS and carries the wish; losers just
+        // keep counting (the next window closes soon enough).
+        if w.compare_exchange(cur, (points / 2) << 32 | (scans / 2), Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        if scans * 16 <= total {
+            Some(LAYOUT_HASH)
+        } else if scans * 4 >= total {
+            Some(LAYOUT_SORTED)
+        } else {
+            None // hysteresis band: keep whatever layout the leaf has
+        }
+    }
+}
+
 /// The RNTree (see crate docs). Construct with [`RnTree::create`],
 /// [`RnTree::recover`] or [`RnTree::reopen_clean`].
 pub struct RnTree {
@@ -198,6 +335,19 @@ pub struct RnTree {
     /// fall back from the 4-byte key head to a full byte compare. Always 0
     /// in u64 mode (obs "keys" section).
     pub(crate) leaf_head_ties: AtomicU64,
+    /// Per-leaf op-mix counters driving adaptive morphing (empty unless
+    /// `leaf_policy == Adaptive`).
+    pub(crate) opmix: OpMix,
+    /// Morphs that rewrote a leaf into the hash layout.
+    pub(crate) morphs_to_hash: AtomicU64,
+    /// Morphs that rewrote a leaf back into the sorted layout.
+    pub(crate) morphs_to_sorted: AtomicU64,
+    /// Morph wishes dropped because the leaf lock was contended or the log
+    /// area was not quiescent (the trigger is strictly opportunistic).
+    pub(crate) morphs_skipped: AtomicU64,
+    /// Hash-directory probe lengths on the read path (buckets inspected
+    /// per point lookup in a hash leaf; obs "leaf_probes" section).
+    pub(crate) probe_hist: obs::AtomicHistogram,
     /// Phase-breakdown timers (obs). Off by default; the modify path pays
     /// one relaxed load per op until [`RnTree::phase_timers`] enables them.
     pub(crate) timers: PhaseTimers,
@@ -373,15 +523,18 @@ impl RnTree {
                 continue;
             }
 
-            // htmLeafUpdate: the sorted slot array is edited inside a
-            // hardware transaction, making the 64-byte line the atomic
-            // write unit (§4.1). Conditional-write checks ride along for
-            // free thanks to the sorted order (§3.3). In single-threaded
-            // (`seq_traversal`) mode the slot is edited with plain stores
-            // instead — see `slot_update` for why this is faithful.
+            // htmLeafUpdate: the slot line is edited inside a hardware
+            // transaction, making the 64-byte line the atomic write unit
+            // (§4.1) — as a sorted array or a hash directory per the
+            // leaf's layout tag (stable under the lock we hold).
+            // Conditional-write checks ride along for free either way. In
+            // single-threaded (`seq_traversal`) mode the slot is edited
+            // with plain stores instead — see `edit_slot` for why this is
+            // faithful.
+            let hashed = leaf.layout() == LAYOUT_HASH;
             let decision = if self.cfg.seq_traversal {
                 let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
-                match self.edit_slot(&leaf, &mut slot, key, entry, mode) {
+                match self.edit_any(&leaf, &mut slot, key, entry, mode, hashed) {
                     Decision::Applied(s) => {
                         leaf.write_slot_seq(WhichSlot::Persistent, &s);
                         Decision::Applied(s)
@@ -391,7 +544,7 @@ impl RnTree {
             } else {
                 self.index.domain().atomic(|txn| {
                     let mut slot = leaf.read_slot_in(txn, WhichSlot::Persistent)?;
-                    match self.edit_slot(&leaf, &mut slot, key, entry, mode) {
+                    match self.edit_any(&leaf, &mut slot, key, entry, mode, hashed) {
                         Decision::Applied(s) => {
                             leaf.write_slot_in(txn, WhichSlot::Persistent, &s)?;
                             Ok(Decision::Applied(s))
@@ -444,7 +597,10 @@ impl RnTree {
             cs.lap(&self.timers, Phase::LeafCs);
 
             match decision {
-                Decision::Applied(_) => return Ok(()),
+                Decision::Applied(_) => {
+                    self.note_point(&leaf);
+                    return Ok(());
+                }
                 Decision::Exists => return Err(OpError::AlreadyExists),
                 Decision::Missing => return Err(OpError::NotFound),
                 Decision::Overfull => {
@@ -504,6 +660,60 @@ impl RnTree {
         Decision::Applied(*slot)
     }
 
+    /// Layout dispatch for the under-lock slot edit: `hashed` is the
+    /// leaf's layout tag, read once under the lock (a morph needs the
+    /// lock, so the tag cannot change while an edit runs).
+    #[inline]
+    fn edit_any(
+        &self,
+        leaf: &Leaf<'_>,
+        slot: &mut SlotBuf,
+        key: Key,
+        entry: usize,
+        mode: WriteMode,
+        hashed: bool,
+    ) -> Decision {
+        if hashed {
+            self.edit_hash(leaf, slot, key, entry, mode)
+        } else {
+            self.edit_slot(leaf, slot, key, entry, mode)
+        }
+    }
+
+    /// The hash-directory twin of `edit_slot`: same slot-line-in,
+    /// slot-line-out contract (so the persist counts are identical by
+    /// construction), but the edit is an O(1)-expected bucket probe
+    /// instead of a sorted insert. A full directory reports `Overfull`
+    /// exactly like a full sorted array — the split trigger is shared.
+    fn edit_hash(&self, leaf: &Leaf<'_>, slot: &mut SlotBuf, key: Key, entry: usize, mode: WriteMode) -> Decision {
+        let fp = fp_hash(key);
+        let mut dir = HashDir::from_slot(*slot);
+        let mut steps = 0u32;
+        let hit = dir.find(
+            fp,
+            |e| self.fps.check(leaf.off(), e, fp) && leaf.read_key(e) == key,
+            &mut steps,
+        );
+        match hit {
+            Some(p) => {
+                if mode == WriteMode::InsertStrict {
+                    return Decision::Exists;
+                }
+                dir.set_probe(p, entry);
+            }
+            None => {
+                if mode == WriteMode::UpdateStrict {
+                    return Decision::Missing;
+                }
+                if !dir.insert(fp, entry) {
+                    return Decision::Overfull;
+                }
+            }
+        }
+        *slot = dir.to_slot();
+        Decision::Applied(*slot)
+    }
+
     /// Point-lookup position of `key` in `slot`: fingerprint probe when
     /// enabled, plain binary search otherwise.
     #[inline]
@@ -513,6 +723,24 @@ impl RnTree {
         } else {
             leaf.search(slot, key).ok()
         }
+    }
+
+    /// Point lookup in a hash-directory slot line; records the probe
+    /// length. The fingerprint table (when enabled) filters candidate
+    /// buckets before the key compare, exactly as it filters sorted
+    /// positions in `lookup_pos`.
+    #[inline]
+    fn lookup_hash(&self, leaf: &Leaf<'_>, slot: &SlotBuf, key: Key) -> Option<crate::hashleaf::Probe> {
+        let fp = fp_hash(key);
+        let dir = HashDir::from_slot(*slot);
+        let mut steps = 0u32;
+        let hit = dir.find(
+            fp,
+            |e| self.fps.check(leaf.off(), e, fp) && leaf.read_key(e) == key,
+            &mut steps,
+        );
+        self.probe_hist.record(steps as u64);
+        hit
     }
 
     /// Counts one decided log entry and runs the (possibly deferred) split
@@ -562,6 +790,17 @@ impl RnTree {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Layout a newly built leaf is born with: the pool-wide hash policy
+    /// starts every leaf hashed; sorted and adaptive start sorted (an
+    /// adaptive leaf earns its hash tag through the op-mix window).
+    pub(crate) fn natal_layout(&self) -> u64 {
+        if self.cfg.leaf_policy == LeafPolicy::Hash {
+            LAYOUT_HASH
+        } else {
+            LAYOUT_SORTED
+        }
+    }
+
     /// Full-leaf retry accounting. Returns true when retrying cannot ever
     /// succeed: a split has already failed for lack of blocks, no block has
     /// been freed since, and the condition has held for several consecutive
@@ -585,8 +824,12 @@ impl RnTree {
         // Undo-log the whole node (Algorithm 3 line 2).
         self.journal.log(&self.pool, jslot, leaf.off());
 
-        let slot = leaf.read_slot_seq(WhichSlot::Persistent);
-        let pairs = leaf.collect_pairs(&slot);
+        // Both layouts split through this one path: gather the live pairs
+        // in key order (hash leaves sort on gather), rewrite densely, and
+        // rebuild the slot line in the leaf's own layout — splits and
+        // compactions preserve the tag, only morphs change it.
+        let layout = leaf.layout();
+        let pairs = self.collect_sorted_pairs(&leaf, layout);
         let live = pairs.len();
 
         if live < LEAF_CAPACITY / 2 {
@@ -599,7 +842,7 @@ impl RnTree {
                     self.fps.set(leaf.off(), i, fp_hash(k));
                 }
             }
-            let id = SlotBuf::identity(live);
+            let id = Self::slot_image(&pairs, layout);
             self.index.domain().atomic(|txn| {
                 leaf.write_slot_in(txn, WhichSlot::Persistent, &id)?;
                 leaf.write_slot_in(txn, WhichSlot::Transient, &id)
@@ -633,8 +876,8 @@ impl RnTree {
 
         // Build and persist the new right sibling first (it is private
         // until linked; a crash before the link leaks only the block,
-        // which allocator rebuild reclaims).
-        right.init_from_pairs(&pairs[mid..], leaf.fence(), leaf.next());
+        // which allocator rebuild reclaims). It inherits the layout tag.
+        right.init_from_pairs(&pairs[mid..], leaf.fence(), leaf.next(), layout);
         if self.cfg.fingerprints {
             for (i, &(k, _)) in pairs[mid..].iter().enumerate() {
                 self.fps.set(right_off, i, fp_hash(k));
@@ -649,7 +892,7 @@ impl RnTree {
                 self.fps.set(leaf.off(), i, fp_hash(k));
             }
         }
-        let id = SlotBuf::identity(mid);
+        let id = Self::slot_image(&pairs[..mid], layout);
         self.index.domain().atomic(|txn| {
             leaf.write_slot_in(txn, WhichSlot::Persistent, &id)?;
             leaf.write_slot_in(txn, WhichSlot::Transient, &id)
@@ -703,15 +946,32 @@ impl RnTree {
             // search is a DRAM byte-probe that touches at most a handful of
             // keys; validity of whatever it reads is established by the
             // version re-check below, exactly as for the binary search.
+            let layout = leaf.layout();
             let kind = self.read_slot_kind();
             let slot = self.snapshot_slot(&leaf, kind);
-            let result = self
-                .lookup_pos(&leaf, &slot, key)
-                .map(|pos| leaf.read_value(slot.entry(pos)));
+            // Adaptive pools only: a morph may have committed between the
+            // tag load above and the snapshot, leaving a line whose
+            // encoding disagrees with `layout` — decoding it could chase a
+            // nonsense entry index. Revalidate *before* interpreting (both
+            // reads happened after `v1`, so an unchanged version proves
+            // they agree). Static policies never change tags: no check.
+            if self.cfg.leaf_policy == LeafPolicy::Adaptive
+                && leaf.stable_version(self.reader_waits_lock()) != v1
+            {
+                self.note_retry();
+                continue;
+            }
+            let result = if layout == LAYOUT_HASH {
+                self.lookup_hash(&leaf, &slot, key).map(|p| leaf.read_value(p.entry))
+            } else {
+                self.lookup_pos(&leaf, &slot, key)
+                    .map(|pos| leaf.read_value(slot.entry(pos)))
+            };
             if leaf.stable_version(self.reader_waits_lock()) != v1 {
                 self.note_retry();
                 continue;
             }
+            self.note_point(&leaf);
             return result;
         }
     }
@@ -737,20 +997,46 @@ impl RnTree {
                     continue 'traverse;
                 }
                 let next = leaf.next();
+                let layout = leaf.layout();
                 let kind = self.read_slot_kind();
                 let slot = self.snapshot_slot(&leaf, kind);
-                let from = match leaf.search(&slot, cursor) {
-                    Ok(p) | Err(p) => p,
-                };
+                // Same pre-interpretation revalidation as `find_impl`:
+                // only adaptive pools can have the tag and the snapshot
+                // disagree, and only until the version moves.
+                if self.cfg.leaf_policy == LeafPolicy::Adaptive
+                    && leaf.stable_version(self.reader_waits_lock()) != v1
+                {
+                    self.note_retry();
+                    continue 'traverse;
+                }
                 tmp.clear();
-                for pos in from..slot.len() {
-                    let e = slot.entry(pos);
-                    tmp.push((leaf.read_key(e), leaf.read_value(e)));
+                if layout == LAYOUT_HASH {
+                    // The directory keeps no order: materialize the whole
+                    // leaf's in-range entries, validate, then sort (pure
+                    // DRAM work on an already-validated snapshot).
+                    for e in HashDir::from_slot(slot).iter() {
+                        let k = leaf.read_key(e);
+                        if k >= cursor {
+                            tmp.push((k, leaf.read_value(e)));
+                        }
+                    }
+                } else {
+                    let from = match leaf.search(&slot, cursor) {
+                        Ok(p) | Err(p) => p,
+                    };
+                    for pos in from..slot.len() {
+                        let e = slot.entry(pos);
+                        tmp.push((leaf.read_key(e), leaf.read_value(e)));
+                    }
                 }
                 if leaf.stable_version(self.reader_waits_lock()) != v1 {
                     self.note_retry();
                     continue 'traverse;
                 }
+                if layout == LAYOUT_HASH {
+                    tmp.sort_unstable_by_key(|p| p.0);
+                }
+                self.note_scan(&leaf);
                 for &kv in &tmp {
                     out.push(kv);
                     if out.len() == n {
@@ -784,27 +1070,25 @@ impl RnTree {
                 continue;
             }
             // Remove only edits the slot array (§5.2.3): one persistent
-            // instruction.
+            // instruction — in both layouts (the hash directory's
+            // backward shift stays inside the same 64-byte line).
+            let hashed = leaf.layout() == LAYOUT_HASH;
             let removed = if self.cfg.seq_traversal {
                 let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
-                match self.lookup_pos(&leaf, &slot, key) {
-                    None => None,
-                    Some(pos) => {
-                        slot.remove_at(pos);
-                        leaf.write_slot_seq(WhichSlot::Persistent, &slot);
-                        Some(slot)
-                    }
+                if self.remove_in_slot(&leaf, &mut slot, key, hashed) {
+                    leaf.write_slot_seq(WhichSlot::Persistent, &slot);
+                    Some(slot)
+                } else {
+                    None
                 }
             } else {
                 self.index.domain().atomic(|txn| {
                     let mut slot = leaf.read_slot_in(txn, WhichSlot::Persistent)?;
-                    match self.lookup_pos(&leaf, &slot, key) {
-                        None => Ok(None),
-                        Some(pos) => {
-                            slot.remove_at(pos);
-                            leaf.write_slot_in(txn, WhichSlot::Persistent, &slot)?;
-                            Ok(Some(slot))
-                        }
+                    if self.remove_in_slot(&leaf, &mut slot, key, hashed) {
+                        leaf.write_slot_in(txn, WhichSlot::Persistent, &slot)?;
+                        Ok(Some(slot))
+                    } else {
+                        Ok(None)
                     }
                 })
             };
@@ -825,9 +1109,183 @@ impl RnTree {
                         }
                     }
                     leaf.unlock(!self.cfg.dual_slot);
+                    self.note_point(&leaf);
                     Ok(())
                 }
             };
+        }
+    }
+
+    /// Removes `key` from the in-register slot-line image, layout-aware.
+    /// Returns whether the key was present (callers write the image back
+    /// and persist on `true`). Runs under the leaf lock.
+    fn remove_in_slot(&self, leaf: &Leaf<'_>, slot: &mut SlotBuf, key: Key, hashed: bool) -> bool {
+        if hashed {
+            let Some(p) = self.lookup_hash(leaf, slot, key) else {
+                return false;
+            };
+            let mut dir = HashDir::from_slot(*slot);
+            // Home buckets for the backward shift come from rehashing the
+            // stored keys — correct even with the fingerprint table
+            // disabled (the directory always hashes, only the *filter* is
+            // optional).
+            dir.remove_at(p.bucket, |e| HashDir::home(fp_hash(leaf.read_key(e))));
+            *slot = dir.to_slot();
+            true
+        } else {
+            match self.lookup_pos(leaf, slot, key) {
+                None => false,
+                Some(pos) => {
+                    slot.remove_at(pos);
+                    true
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- morph
+
+    /// Counts a point op for the adaptive policy and opportunistically
+    /// morphs the leaf when a window closes on a different layout wish.
+    /// No-op (one empty-table check) outside `LeafPolicy::Adaptive`.
+    #[inline]
+    fn note_point(&self, leaf: &Leaf<'_>) {
+        if let Some(target) = self.opmix.record_point(leaf.off()) {
+            self.maybe_morph(leaf, target);
+        }
+    }
+
+    /// Scan twin of [`Self::note_point`], counted once per leaf visited.
+    #[inline]
+    fn note_scan(&self, leaf: &Leaf<'_>) {
+        if let Some(target) = self.opmix.record_scan(leaf.off()) {
+            self.maybe_morph(leaf, target);
+        }
+    }
+
+    /// Opportunistic morph trigger: a single `try_lock` attempt, never a
+    /// spin — a read-path caller would rather skip the morph than queue
+    /// behind a writer. Skips (and counts the skip) on contention.
+    fn maybe_morph(&self, leaf: &Leaf<'_>, target: u64) {
+        if leaf.layout() == target {
+            return;
+        }
+        if !leaf.try_lock() {
+            self.morphs_skipped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.morph_locked(*leaf, target);
+        leaf.unlock(false);
+    }
+
+    /// Forces the leaf covering `key` into the given layout (testing and
+    /// diagnostics — the production trigger is the op-mix window). Returns
+    /// whether a rewrite ran. Only meaningful under
+    /// [`LeafPolicy::Adaptive`]; static policies keep their tags immutable
+    /// and readers rely on that.
+    ///
+    /// # Panics
+    /// Panics when the pool's policy is not `Adaptive`.
+    pub fn force_morph(&self, key: Key, to_hash: bool) -> bool {
+        assert!(
+            self.cfg.leaf_policy == LeafPolicy::Adaptive,
+            "force_morph requires LeafPolicy::Adaptive"
+        );
+        let target = if to_hash { LAYOUT_HASH } else { LAYOUT_SORTED };
+        loop {
+            let leaf = Leaf::at(&self.pool, self.traverse(key));
+            leaf.lock();
+            if key > leaf.fence() {
+                leaf.unlock(false);
+                self.note_retry();
+                continue;
+            }
+            let did = self.morph_locked(leaf, target);
+            leaf.unlock(false);
+            return did;
+        }
+    }
+
+    /// Rewrites the leaf into `target` layout as a crash-atomic journaled
+    /// rewrite — the same undo-journal discipline as a split: journal the
+    /// whole node, rewrite KVs densely in key order, swap both slot lines
+    /// transactionally, flip the tag, persist the block, clear the
+    /// journal. Caller holds the lock; requires log-area quiescence
+    /// (`nlogs == plogs`), else the morph is skipped (counted), exactly
+    /// like a deferred split. Clears the splitting bit (with a version
+    /// bump, invalidating every in-flight reader snapshot) when it ran.
+    fn morph_locked(&self, leaf: Leaf<'_>, target: u64) -> bool {
+        let source = leaf.layout();
+        if source == target {
+            return false;
+        }
+        // Freeze allocation first; the quiescence re-check under the
+        // frozen word is then exact (same argument as the split path).
+        leaf.set_split();
+        if leaf.nlogs() != leaf.plogs() {
+            leaf.unset_split_nobump();
+            self.morphs_skipped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let jslot = self.journal.acquire();
+        self.journal.log(&self.pool, jslot, leaf.off());
+
+        let pairs = self.collect_sorted_pairs(&leaf, source);
+        let live = pairs.len();
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            leaf.write_kv(i, k, v);
+            if self.cfg.fingerprints {
+                self.fps.set(leaf.off(), i, fp_hash(k));
+            }
+        }
+        let img = Self::slot_image(&pairs, target);
+        // A whole-node rewrite touches both slot lines plus the staged
+        // buffers: a capacity-class body that an optimistic HTM attempt
+        // cannot commit — go straight to the serialized fallback tier.
+        self.index.domain().atomic_capacity(|txn| {
+            leaf.write_slot_in(txn, WhichSlot::Persistent, &img)?;
+            leaf.write_slot_in(txn, WhichSlot::Transient, &img)
+        });
+        leaf.set_layout(target);
+        leaf.persist_all();
+        leaf.set_nlogs(live as u64);
+        leaf.set_plogs(live as u64);
+        self.journal.clear(&self.pool, jslot);
+        if target == LAYOUT_HASH {
+            self.morphs_to_hash.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.morphs_to_sorted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pool.events().record(EventKind::Morph, leaf.off(), target);
+        leaf.unset_split_bump();
+        true
+    }
+
+    /// Live `(key, value)` pairs of the leaf in key order regardless of
+    /// layout (hash leaves gather their buckets and sort). Lock held or
+    /// recovery quiescence.
+    fn collect_sorted_pairs(&self, leaf: &Leaf<'_>, layout: u64) -> Vec<(u64, u64)> {
+        let slot = leaf.read_slot_seq(WhichSlot::Persistent);
+        if layout == LAYOUT_HASH {
+            let mut v: Vec<(u64, u64)> = HashDir::from_slot(slot)
+                .iter()
+                .map(|e| (leaf.read_key(e), leaf.read_value(e)))
+                .collect();
+            v.sort_unstable_by_key(|p| p.0);
+            v
+        } else {
+            leaf.collect_pairs(&slot)
+        }
+    }
+
+    /// Slot-line image for `pairs` stored densely at entries `0..n` in key
+    /// order: identity array (sorted layout) or rebuilt hash directory.
+    fn slot_image(pairs: &[(u64, u64)], layout: u64) -> SlotBuf {
+        if layout == LAYOUT_HASH {
+            let fps: Vec<u8> = pairs.iter().map(|&(k, _)| fp_hash(k)).collect();
+            HashDir::build(&fps).to_slot()
+        } else {
+            SlotBuf::identity(pairs.len())
         }
     }
 
@@ -926,6 +1384,7 @@ impl RnTree {
     /// contract).
     fn init_leaf_batched(&self, leaf: Leaf<'_>, pairs: &[(Key, Value)], fence: u64, next: u64) {
         debug_assert!(!pairs.is_empty() && pairs.len() <= MAX_LIVE);
+        let layout = self.natal_layout();
         leaf.reset_lockver();
         for (i, &(k, v)) in pairs.iter().enumerate() {
             leaf.write_kv(i, k, v);
@@ -937,13 +1396,14 @@ impl RnTree {
         leaf.set_plogs(pairs.len() as u64);
         leaf.set_next(next);
         leaf.set_fence(fence);
+        leaf.set_layout(layout);
         // Persistent instruction #1: one CLWB batch + one fence covering
-        // the header line and every dirtied KV line.
+        // the header line (layout tag included) and every dirtied KV line.
         self.pool.persist_many(&[
             (leaf.off() + field::LOCKVER, 64),
             (leaf.off() + field::KV, pairs.len() as u64 * 16),
         ]);
-        let slot = SlotBuf::identity(pairs.len());
+        let slot = Self::slot_image(pairs, layout);
         leaf.write_slot_seq(WhichSlot::Persistent, &slot);
         leaf.write_slot_seq(WhichSlot::Transient, &slot);
         // Persistent instruction #2: the slot line, published only after
@@ -1026,21 +1486,43 @@ impl RnTree {
         run: &[(Key, Value)],
         results: &mut [Result<(), OpError>],
     ) -> usize {
+        // Layout dispatch, same shape as `edit_any`: the tag is stable
+        // under the lock. In hash mode the run edits a directory image and
+        // re-encodes it once at write-back.
+        let hashed = leaf.layout() == LAYOUT_HASH;
         let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
+        let mut dir = HashDir::from_slot(slot);
         let mut dirty: Vec<(u64, u64)> = Vec::with_capacity(run.len());
         let mut decided = 0u64;
         let mut consumed = 0usize;
         let mut changed = false;
         for (ri, &(k, v)) in run.iter().enumerate() {
-            match leaf.search(&slot, k) {
-                Ok(_) => {
+            // `Ok(())` = absent, carrying the sorted insertion point when
+            // the layout needs one.
+            let found: Result<Option<usize>, ()> = if hashed {
+                let fp = fp_hash(k);
+                let mut steps = 0u32;
+                match dir.find(fp, |e| self.fps.check(leaf.off(), e, fp) && leaf.read_key(e) == k, &mut steps)
+                {
+                    Some(_) => Err(()),
+                    None => Ok(None),
+                }
+            } else {
+                match leaf.search(&slot, k) {
+                    Ok(_) => Err(()),
+                    Err(pos) => Ok(Some(pos)),
+                }
+            };
+            match found {
+                Err(()) => {
                     // Present in the leaf (or earlier in this run): strict
                     // insert rejects without consuming a log entry.
                     results[ri] = Err(OpError::AlreadyExists);
                     consumed += 1;
                 }
-                Err(pos) => {
-                    if slot.len() == MAX_LIVE {
+                Ok(pos) => {
+                    let full = if hashed { dir.len() == MAX_LIVE } else { slot.len() == MAX_LIVE };
+                    if full {
                         // Slot array full. Deliberately waste one log entry:
                         // `plogs` counts decisions and decisions drive the
                         // split trigger, exactly like the per-op Overfull
@@ -1061,11 +1543,19 @@ impl RnTree {
                         self.fps.set(leaf.off(), entry, fp_hash(k));
                     }
                     dirty.push((leaf.off() + kv_off(entry), 16));
-                    slot.insert_at(pos, entry);
+                    if hashed {
+                        let ok = dir.insert(fp_hash(k), entry);
+                        debug_assert!(ok, "directory had room");
+                    } else {
+                        slot.insert_at(pos.expect("sorted path carries a position"), entry);
+                    }
                     changed = true;
                     consumed += 1;
                 }
             }
+        }
+        if hashed {
+            slot = dir.to_slot();
         }
         if changed {
             // Persistent instruction #1 for the whole run: the dirtied KV
@@ -1134,41 +1624,93 @@ impl RnTree {
             if slot.len() > MAX_LIVE {
                 return Err(format!("leaf {off}: slot count {} > {MAX_LIVE}", slot.len()));
             }
-            let mut seen = [false; LEAF_CAPACITY];
-            for pos in 0..slot.len() {
-                let e = slot.entry(pos);
-                if e >= LEAF_CAPACITY {
-                    return Err(format!("leaf {off}: slot entry {e} out of range"));
-                }
-                if seen[e] {
-                    return Err(format!("leaf {off}: duplicate slot entry {e}"));
-                }
-                seen[e] = true;
-                if e as u64 >= leaf.nlogs() {
-                    return Err(format!(
-                        "leaf {off}: slot references unallocated entry {e} (nlogs={})",
-                        leaf.nlogs()
-                    ));
-                }
-                let k = leaf.read_key(e);
-                if let Some(prev) = last_key {
-                    if k <= prev {
-                        return Err(format!("leaf {off}: key {k} not > previous {prev}"));
+            let hashed = leaf.layout() == LAYOUT_HASH;
+            if hashed {
+                // Hash leaf: no intra-leaf order, but every key must sit
+                // strictly between the previous leaf's maximum and this
+                // leaf's fence, the directory's count byte must equal its
+                // occupied buckets, and a probe must find every live key.
+                let dir = HashDir::from_slot(slot);
+                let prev_leaf_max = last_key;
+                let mut seen = [false; LEAF_CAPACITY];
+                let mut count = 0usize;
+                for e in dir.iter() {
+                    count += 1;
+                    if seen[e] {
+                        return Err(format!("leaf {off}: duplicate directory entry {e}"));
+                    }
+                    seen[e] = true;
+                    if e as u64 >= leaf.nlogs() {
+                        return Err(format!(
+                            "leaf {off}: directory references unallocated entry {e} (nlogs={})",
+                            leaf.nlogs()
+                        ));
+                    }
+                    let k = leaf.read_key(e);
+                    if let Some(prev) = prev_leaf_max {
+                        if k <= prev {
+                            return Err(format!("leaf {off}: key {k} not > previous leaf max {prev}"));
+                        }
+                    }
+                    if k > leaf.fence() {
+                        return Err(format!("leaf {off}: key {k} above fence {}", leaf.fence()));
+                    }
+                    if last_key.is_none_or(|m| k > m) {
+                        last_key = Some(k);
+                    }
+                    let mut steps = 0u32;
+                    let found = dir.find(fp_hash(k), |c| leaf.read_key(c) == k, &mut steps);
+                    if found.map(|p| p.entry) != Some(e) {
+                        return Err(format!("leaf {off}: directory probe misses live key {k}"));
+                    }
+                    let routed = self.index.traverse_seq(k);
+                    if routed != off {
+                        return Err(format!("index routes key {k} to {routed}, expected {off}"));
                     }
                 }
-                if k > leaf.fence() {
-                    return Err(format!("leaf {off}: key {k} above fence {}", leaf.fence()));
+                if count != dir.len() {
+                    return Err(format!(
+                        "leaf {off}: directory count byte {} != occupied buckets {count}",
+                        dir.len()
+                    ));
                 }
-                last_key = Some(k);
-                // The fingerprint table may never produce a false negative
-                // for a live key (collisions only cost extra compares).
-                if self.cfg.fingerprints && self.fps.probe(&leaf, &slot, k) != Some(pos) {
-                    return Err(format!("leaf {off}: fingerprint probe misses live key {k}"));
-                }
-                // The volatile index must route this key here.
-                let routed = self.index.traverse_seq(k);
-                if routed != off {
-                    return Err(format!("index routes key {k} to {routed}, expected {off}"));
+            } else {
+                let mut seen = [false; LEAF_CAPACITY];
+                for pos in 0..slot.len() {
+                    let e = slot.entry(pos);
+                    if e >= LEAF_CAPACITY {
+                        return Err(format!("leaf {off}: slot entry {e} out of range"));
+                    }
+                    if seen[e] {
+                        return Err(format!("leaf {off}: duplicate slot entry {e}"));
+                    }
+                    seen[e] = true;
+                    if e as u64 >= leaf.nlogs() {
+                        return Err(format!(
+                            "leaf {off}: slot references unallocated entry {e} (nlogs={})",
+                            leaf.nlogs()
+                        ));
+                    }
+                    let k = leaf.read_key(e);
+                    if let Some(prev) = last_key {
+                        if k <= prev {
+                            return Err(format!("leaf {off}: key {k} not > previous {prev}"));
+                        }
+                    }
+                    if k > leaf.fence() {
+                        return Err(format!("leaf {off}: key {k} above fence {}", leaf.fence()));
+                    }
+                    last_key = Some(k);
+                    // The fingerprint table may never produce a false negative
+                    // for a live key (collisions only cost extra compares).
+                    if self.cfg.fingerprints && self.fps.probe(&leaf, &slot, k) != Some(pos) {
+                        return Err(format!("leaf {off}: fingerprint probe misses live key {k}"));
+                    }
+                    // The volatile index must route this key here.
+                    let routed = self.index.traverse_seq(k);
+                    if routed != off {
+                        return Err(format!("index routes key {k} to {routed}, expected {off}"));
+                    }
                 }
             }
             if self.cfg.dual_slot {
@@ -1377,6 +1919,10 @@ impl PersistentIndex for RnTree {
     fn name(&self) -> &'static str {
         if self.cfg.varlen_leaves {
             "RNTree+VK"
+        } else if self.cfg.leaf_policy == LeafPolicy::Hash {
+            "RNTree+HL"
+        } else if self.cfg.leaf_policy == LeafPolicy::Adaptive {
+            "RNTree+AD"
         } else if self.cfg.dual_slot {
             "RNTree+DS"
         } else {
@@ -1430,7 +1976,9 @@ impl ObsSource for RnTree {
     /// are enabled), `cache` (page-cache hit/miss/eviction counters plus
     /// the optimistic-descent restart taxonomy, present only with a cache
     /// attached), `keys` (head-tie fallback counters, present only in
-    /// byte-keyed mode), and `events` (the pool's crash-forensics ring).
+    /// byte-keyed mode), `leaf` (per-layout leaf census plus morph
+    /// counters) with `leaf_probes` (the hash-directory probe-length
+    /// distribution), and `events` (the pool's crash-forensics ring).
     fn obs_sections(&self) -> Vec<(String, Section)> {
         let mut tree = self.stats().counters();
         let rn = self.rn_stats();
@@ -1495,6 +2043,35 @@ impl ObsSource for RnTree {
                 ]),
             ));
         }
+        // Per-layout leaf census plus the morph engine's counters
+        // (DESIGN.md §5i). The census re-walks the chain; obs reporting is
+        // off the hot path, and the header tag read is layout-agnostic.
+        let mut sorted_leaves = 0u64;
+        let mut hash_leaves = 0u64;
+        let mut off = self.leftmost;
+        while off != 0 {
+            let leaf = Leaf::at(&self.pool, off);
+            if leaf.layout() == LAYOUT_HASH {
+                hash_leaves += 1;
+            } else {
+                sorted_leaves += 1;
+            }
+            off = leaf.next();
+        }
+        out.push((
+            "leaf".to_string(),
+            Section::Counters(vec![
+                ("sorted_leaves".into(), sorted_leaves),
+                ("hash_leaves".into(), hash_leaves),
+                ("morphs_to_hash".into(), self.morphs_to_hash.load(Ordering::Relaxed)),
+                ("morphs_to_sorted".into(), self.morphs_to_sorted.load(Ordering::Relaxed)),
+                ("morphs_skipped".into(), self.morphs_skipped.load(Ordering::Relaxed)),
+            ]),
+        ));
+        out.push((
+            "leaf_probes".to_string(),
+            Section::Latencies(vec![("probe_len".to_string(), self.probe_hist.snapshot())]),
+        ));
         out.push(("events".to_string(), Section::Events(self.pool.events().dump())));
         out
     }

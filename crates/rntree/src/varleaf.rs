@@ -101,6 +101,9 @@ impl<'p> VarLeaf<'p> {
     pub(crate) fn next(&self) -> u64 {
         self.base.next()
     }
+    pub(crate) fn layout(&self) -> u64 {
+        self.base.layout()
+    }
     pub(crate) fn set_next(&self, v: u64) {
         self.base.set_next(v);
     }

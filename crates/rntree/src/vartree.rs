@@ -840,6 +840,12 @@ impl RnTree {
         let mut prev_hf: Option<KeyBuf> = Some(KeyBuf::MIN); // next leaf's expected low fence
         while off != 0 {
             let leaf = VarLeaf::at(&self.pool, off);
+            // Var leaves never morph: the hash directory encodes u64
+            // fingerprint buckets and the adaptive policy is rejected at
+            // config validation, so any non-sorted tag here is corruption.
+            if leaf.layout() != crate::layout::LAYOUT_SORTED {
+                return Err(format!("var leaf {off}: layout tag {} != sorted", leaf.layout()));
+            }
             let slot = leaf.read_slot_seq(WhichSlot::Persistent);
             if slot.len() > VAR_MAX_LIVE {
                 return Err(format!("leaf {off}: slot count {} > {VAR_MAX_LIVE}", slot.len()));

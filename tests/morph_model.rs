@@ -1,0 +1,354 @@
+//! Adaptive-leaf-morphing model tests: a pool-wide hash-leaf tree must
+//! behave exactly like a `BTreeMap<u64, u64>` (point ops AND ordered
+//! scans — hash leaves materialize-and-sort per leaf), the adaptive
+//! policy must converge each leaf to the layout its op mix wants and
+//! morph back when the mix flips, readers must never observe a torn
+//! layout while leaves morph under them, and a crash at **every**
+//! persist point of a script that forces morphs mid-churn must recover
+//! to the oracle — the morph is a journaled whole-node rewrite, so a
+//! crash inside one rolls the leaf back to its pre-morph image with all
+//! its content.
+
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use index_common::{OpError, PersistentIndex};
+use nvm::{PmemConfig, PmemPool, SplitMix64};
+use obs::{ObsSource, Section};
+use rntree::{LeafPolicy, RnConfig, RnTree};
+
+fn cfg(policy: LeafPolicy) -> RnConfig {
+    RnConfig {
+        leaf_policy: policy,
+        journal_slots: 4,
+        ..RnConfig::default()
+    }
+}
+
+fn new_pool(bytes: usize) -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(PmemConfig::for_testing(bytes)))
+}
+
+/// The `leaf` obs section as a name → value map (layout census + morph
+/// counters).
+fn leaf_counters(tree: &RnTree) -> BTreeMap<String, u64> {
+    for (name, sec) in tree.obs_sections() {
+        if name == "leaf" {
+            if let Section::Counters(c) = sec {
+                return c.into_iter().collect();
+            }
+        }
+    }
+    panic!("tree exports no `leaf` obs section");
+}
+
+#[test]
+fn hash_policy_matches_u64_oracle_with_scans() {
+    let tree = RnTree::create(new_pool(1 << 24), cfg(LeafPolicy::Hash));
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = SplitMix64::new(0x4A54_1EAF);
+
+    for step in 0..12_000u64 {
+        let k = rng.next_below(3_000) * 7 + 1;
+        let v = rng.next_u64() >> 1;
+        match rng.next_below(12) {
+            0..=2 => {
+                let r = tree.insert(k, v);
+                match oracle.entry(k) {
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        assert_eq!(r, Err(OpError::AlreadyExists), "insert dup {k}");
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        r.unwrap();
+                        e.insert(v);
+                    }
+                }
+            }
+            3..=4 => {
+                tree.upsert(k, v).unwrap();
+                oracle.insert(k, v);
+            }
+            5 => {
+                let r = tree.update(k, v);
+                match oracle.entry(k) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        r.unwrap();
+                        e.insert(v);
+                    }
+                    std::collections::btree_map::Entry::Vacant(_) => {
+                        assert_eq!(r, Err(OpError::NotFound), "update missing {k}");
+                    }
+                }
+            }
+            6..=7 => {
+                let r = tree.remove(k);
+                if oracle.remove(&k).is_some() {
+                    r.unwrap();
+                } else {
+                    assert_eq!(r, Err(OpError::NotFound), "remove missing {k}");
+                }
+            }
+            8..=9 => {
+                assert_eq!(tree.find(k), oracle.get(&k).copied(), "find {k}");
+            }
+            _ => {
+                // Ordered scans out of unordered leaves, across leaf
+                // boundaries (hash leaves sort their materialized range).
+                let n = rng.next_below(80) as usize;
+                let mut out = Vec::new();
+                let got = tree.scan_n(k, n, &mut out);
+                let want: Vec<(u64, u64)> =
+                    oracle.range(k..).take(n).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want.len(), "scan_n({k}, {n}) count at step {step}");
+                assert_eq!(out, want, "scan_n({k}, {n}) at step {step}");
+            }
+        }
+    }
+
+    assert!(tree.rn_stats().splits > 0, "stream must split hash leaves");
+    tree.verify_invariants().unwrap();
+    let census = leaf_counters(&tree);
+    assert_eq!(census["sorted_leaves"], 0, "hash policy grew a sorted leaf");
+    assert!(census["hash_leaves"] > 1, "expected a multi-leaf tree");
+}
+
+#[test]
+fn adaptive_converges_to_the_layout_the_op_mix_wants() {
+    let tree = RnTree::create(new_pool(1 << 22), cfg(LeafPolicy::Adaptive));
+    for k in 1..=50u64 {
+        tree.insert(k, k * 3).unwrap();
+    }
+    let census = leaf_counters(&tree);
+    assert_eq!(census["hash_leaves"], 0, "adaptive leaves are born sorted");
+
+    // Point-only traffic: the window closes on a pure-lookup mix and the
+    // leaf must morph to the hash layout.
+    for round in 0..600u64 {
+        let k = round % 50 + 1;
+        assert_eq!(tree.find(k), Some(k * 3));
+    }
+    let census = leaf_counters(&tree);
+    assert!(census["morphs_to_hash"] >= 1, "no morph to hash: {census:?}");
+    assert_eq!(census["hash_leaves"], 1, "census after point phase: {census:?}");
+    tree.verify_invariants().unwrap();
+
+    // Scan-heavy traffic: the mix flips past the 1/4 scan-share
+    // threshold and the same leaf must morph back.
+    let mut out = Vec::new();
+    for round in 0..900u64 {
+        let n = tree.scan_n(round % 40 + 1, 5, &mut out);
+        assert_eq!(n, 5);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "scan unsorted");
+    }
+    let census = leaf_counters(&tree);
+    assert!(census["morphs_to_sorted"] >= 1, "no morph back: {census:?}");
+    assert_eq!(census["sorted_leaves"], 1, "census after scan phase: {census:?}");
+    tree.verify_invariants().unwrap();
+    for k in 1..=50u64 {
+        assert_eq!(tree.find(k), Some(k * 3), "key {k} after both morphs");
+    }
+}
+
+/// Readers running full tilt while leaves morph under them: the
+/// Adaptive-gated mid-validation must make every snapshot either a
+/// consistent sorted view or a consistent hash view — a torn mix decodes
+/// garbage entries and fails the assertions here.
+#[test]
+fn concurrent_readers_survive_a_morph_storm() {
+    let tree = Arc::new(RnTree::create(new_pool(1 << 24), cfg(LeafPolicy::Adaptive)));
+    const KEYS: u64 = 1_000;
+    for k in 1..=KEYS {
+        tree.insert(k, k * 3).unwrap();
+    }
+
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0xF00D + t as u64);
+                let mut out = Vec::new();
+                for _ in 0..20_000 {
+                    let k = rng.next_below(KEYS) + 1;
+                    if rng.next_below(8) == 0 {
+                        let take = (KEYS - k + 1).min(10) as usize;
+                        assert_eq!(tree.scan_n(k, 10, &mut out), take);
+                        assert_eq!(out[0].0, k, "scan start");
+                        assert!(out.windows(2).all(|w| w[0].0 + 1 == w[1].0), "scan order");
+                    } else {
+                        assert_eq!(tree.find(k), Some(k * 3), "find {k}");
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Morph every leaf back and forth while the readers run.
+    let mut rng = SplitMix64::new(0x57084);
+    for i in 0..400u64 {
+        tree.force_morph(rng.next_below(KEYS) + 1, i % 2 == 0);
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+    tree.verify_invariants().unwrap();
+    let census = leaf_counters(&tree);
+    assert!(
+        census["morphs_to_hash"] + census["morphs_to_sorted"] >= 100,
+        "storm barely morphed: {census:?}"
+    );
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Upsert(u64, u64),
+    Remove(u64),
+    Morph(u64, bool),
+}
+
+/// Deterministic script: build a multi-leaf tree, churn it, and force
+/// morphs in both directions between (and inside) the churn phases so
+/// the persist-point sweep crosses whole-node rewrites of leaves that
+/// already hold live data, plus splits of already-hashed leaves.
+fn script() -> Vec<Op> {
+    let mut rng = SplitMix64::new(0x4A54_C4A5);
+    let mut ops = Vec::new();
+    for i in 0..150u64 {
+        ops.push(Op::Insert(i * 13 + 1, i));
+    }
+    for m in 0..6u64 {
+        ops.push(Op::Morph(m * 331 + 1, true));
+    }
+    for i in 0..80u64 {
+        let k = rng.next_below(150) * 13 + 1;
+        match i % 3 {
+            0 => ops.push(Op::Upsert(k, 10_000 + i)),
+            1 => ops.push(Op::Remove(k)),
+            _ => ops.push(Op::Insert(k + 5, 20_000 + i)),
+        }
+    }
+    for m in 0..6u64 {
+        ops.push(Op::Morph(m * 331 + 1, m % 2 == 0));
+    }
+    // Grow hashed leaves past capacity: splits must carry the tag.
+    for i in 150..260u64 {
+        ops.push(Op::Insert(i * 13 + 1, i));
+    }
+    ops
+}
+
+fn apply(tree: &RnTree, ops: &[Op], model: &mut BTreeMap<u64, u64>) -> Option<Op> {
+    for op in ops {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| match op {
+            Op::Insert(k, v) => tree.insert(*k, *v).map(|_| Some((*k, Some(*v)))),
+            Op::Upsert(k, v) => tree.upsert(*k, *v).map(|_| Some((*k, Some(*v)))),
+            Op::Remove(k) => tree.remove(*k).map(|_| Some((*k, None))),
+            Op::Morph(k, to_hash) => {
+                tree.force_morph(*k, *to_hash);
+                Ok(None)
+            }
+        }));
+        match r {
+            Ok(Ok(Some((k, Some(v))))) => {
+                model.insert(k, v);
+            }
+            Ok(Ok(Some((k, None)))) => {
+                model.remove(&k);
+            }
+            Ok(Ok(None)) => { /* morph: no logical change */ }
+            Ok(Err(_)) => { /* conditional rejection: no state change */ }
+            Err(_) => return Some(op.clone()),
+        }
+    }
+    None
+}
+
+#[test]
+fn every_persist_crash_point_recovers_through_morphs() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let ops = script();
+    let c = cfg(LeafPolicy::Adaptive);
+
+    // Count the script's total persists on an untrapped run.
+    let total = {
+        let pool = new_pool(1 << 23);
+        let tree = RnTree::create(Arc::clone(&pool), c);
+        let base = pool.stats().snapshot().persists;
+        let mut model = BTreeMap::new();
+        assert!(apply(&tree, &ops, &mut model).is_none());
+        tree.verify_invariants().unwrap();
+        pool.stats().snapshot().persists - base
+    };
+    assert!(total > 400, "script too small: {total} persists");
+
+    // Step coprime with the 2-persist op pattern and the 4-persist morph
+    // pattern so every intra-op position is hit over the sweep; always
+    // include the first and last few points.
+    let mut points: Vec<u64> = (1..=total).step_by(5).collect();
+    points.extend(total.saturating_sub(4)..=total);
+    points.sort_unstable();
+    points.dedup();
+
+    for &trap_at in &points {
+        let pool = new_pool(1 << 23);
+        let tree = RnTree::create(Arc::clone(&pool), c);
+        pool.arm_persist_trap(trap_at);
+        let mut model = BTreeMap::new();
+        let in_flight = apply(&tree, &ops, &mut model);
+        pool.disarm_persist_trap();
+        drop(tree);
+        pool.simulate_crash();
+
+        let tree = RnTree::recover(Arc::clone(&pool), c);
+        tree.verify_invariants()
+            .unwrap_or_else(|e| panic!("trap@{trap_at}: invariants: {e}"));
+
+        // A morph changes no logical content — whether it completed or
+        // rolled back, every acknowledged pair must read back. Only a
+        // key-modifying op may be ambiguously in flight.
+        let in_flight_key = match &in_flight {
+            Some(Op::Insert(k, _)) | Some(Op::Upsert(k, _)) | Some(Op::Remove(k)) => Some(*k),
+            _ => None,
+        };
+        for (k, v) in &model {
+            if Some(*k) == in_flight_key {
+                continue;
+            }
+            assert_eq!(
+                tree.find(*k),
+                Some(*v),
+                "trap@{trap_at}: acked key {k} wrong after crash"
+            );
+        }
+        if let Some(Op::Insert(k, v) | Op::Upsert(k, v)) = &in_flight {
+            let found = tree.find(*k);
+            let old = model.get(k).copied();
+            assert!(
+                found == old || found == Some(*v),
+                "trap@{trap_at}: in-flight op on {k} left torn state {found:?}"
+            );
+        }
+
+        // No phantoms beyond model ∪ in-flight, and the scan comes back
+        // sorted regardless of which leaves recovered as hash.
+        let mut out = Vec::new();
+        tree.scan_n(0, usize::MAX >> 1, &mut out);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "trap@{trap_at}: scan order");
+        for (k, _) in out {
+            assert!(
+                model.contains_key(&k) || Some(k) == in_flight_key,
+                "trap@{trap_at}: phantom key {k}"
+            );
+        }
+
+        // The recovered tree keeps working, including fresh morphs.
+        tree.insert(u64::MAX - 1, 1)
+            .unwrap_or_else(|e| panic!("trap@{trap_at}: post-recovery insert: {e:?}"));
+        tree.force_morph(1, true);
+    }
+
+    std::panic::set_hook(default_hook);
+}
