@@ -30,7 +30,17 @@
 //! `leaf-scale` (hash-leaf layout and adaptive morphing: asserts the
 //! hash leaf beats the sorted leaf on YCSB-C point lookups and that the
 //! adaptive policy tracks the best static layout on point-heavy and
-//! scan-heavy mixes; written to `BENCH_PR8.json` or `--out PATH`).
+//! scan-heavy mixes; written to `BENCH_PR8.json` or `--out PATH`), and
+//! `trace-scale` (structural heat attribution + sampled op tracing +
+//! time-resolved metrics: asserts the conflict heatmap ranks the
+//! planted 256-key hot window's leaves above the uniform control's,
+//! and carries per-window p50/p99 series plus the trace digest; written
+//! to `BENCH_PR9.json` or `--out PATH`), and `trace-report` (the
+//! human-readable digest of the same run: critical-path breakdown,
+//! top-K hot leaves/stripes next to the abort mix, timeline table; add
+//! `--assert-overhead PCT` for the CI gate), and `bench-index`
+//! (cross-PR trend table harvested from every committed
+//! `BENCH_PR*.json`, written to `BENCH_TRAJECTORY.md` or `--out PATH`).
 //! Options: `--quick` (small smoke run), `--warm N`, `--duration-ms N`,
 //! `--threads a,b,c`, `--latency-ns N`, `--workers N`, `--seed N`,
 //! `--out PATH`, `--assert-overhead PCT` (obs-report only: fail the run
@@ -43,7 +53,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|varkey-scale|leaf-scale|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|varkey-scale|leaf-scale|trace-scale|trace-report|bench-index|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH] [--assert-overhead PCT]"
     );
@@ -65,6 +75,8 @@ fn main() {
         "cache-scale" => "BENCH_PR6.json",
         "varkey-scale" => "BENCH_PR7.json",
         "leaf-scale" => "BENCH_PR8.json",
+        "trace-scale" => "BENCH_PR9.json",
+        "bench-index" => "BENCH_TRAJECTORY.md",
         _ => "BENCH_PR1.json",
     });
     let mut assert_overhead: Option<f64> = None;
@@ -149,6 +161,11 @@ fn main() {
         "cache-scale" => bench::cachebench::cache_scale(&scale, &out_path),
         "varkey-scale" => bench::varbench::varkey_scale(&scale, &out_path),
         "leaf-scale" => bench::leafbench::leaf_scale(&scale, &out_path),
+        "trace-scale" => bench::tracebench::trace_scale(&scale, &out_path, assert_overhead),
+        "trace-report" => bench::tracebench::trace_report(&scale, assert_overhead),
+        "bench-index" => {
+            bench::trendbench::bench_index(std::path::Path::new("."), &out_path)
+        }
         "all" => {
             experiments::table1(&scale);
             experiments::fig4(&scale);

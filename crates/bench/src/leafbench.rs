@@ -14,7 +14,7 @@
 //!    ratio is `> 1` **and** a one-sided sign test rejects "sorted is
 //!    at least as fast" (`p < 0.05`), with paired rescue rounds for
 //!    unmet points. The gate applies at committed scale
-//!    ([`GATE_MIN_WARM_N`]+ warmed keys); below that the working set
+//!    (`GATE_MIN_WARM_N`+ warmed keys); below that the working set
 //!    is cache-resident, the layouts tie at parity, and the cell is
 //!    reported without assertion.
 //! 2. **Hot-window cell (`hot-window`).** The same pair under the

@@ -33,6 +33,8 @@ pub mod obsbench;
 pub mod prbench;
 pub mod report;
 pub mod shardbench;
+pub mod tracebench;
+pub mod trendbench;
 pub mod varbench;
 
 pub use harness::{build_tree, pool_for, warm, Scale, TreeKind};

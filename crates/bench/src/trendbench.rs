@@ -1,0 +1,294 @@
+//! `repro bench-index` — cross-PR benchmark trajectory.
+//!
+//! Every PR since the seed has committed a machine-readable report
+//! (`BENCH_PR1.json` … `BENCH_PR9.json`), each with its own schema.
+//! This subcommand is the first consumer that reads them *together*: it
+//! walks every committed report, harvests the throughput (`*mops*`,
+//! `*ops_per_sec*`) and tail-latency (`*p99_ns*`) leaves wherever they
+//! sit in each document, and renders one markdown trend table per PR
+//! plus a cross-PR headline summary — committed as
+//! `BENCH_TRAJECTORY.md` so a reviewer can see the repo's performance
+//! story without parsing nine shapes of JSON.
+//!
+//! The walk is schema-agnostic on purpose: it recurses the parsed
+//! [`obs::Json`] tree recording the dotted path to every numeric leaf
+//! whose key matches a metric family, so new reports join the index by
+//! existing, not by being taught. Per-PR tables are capped (deepest
+//! documents carry hundreds of leaves); the cap is printed, never
+//! silent.
+
+use obs::Json;
+
+/// Rows kept per PR section in the markdown (sorted by metric value,
+/// largest first — the headline numbers). The true leaf count is always
+/// printed next to the cap.
+const ROWS_PER_PR: usize = 12;
+
+/// One harvested numeric leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dotted path from the document root (array indices inline).
+    pub path: String,
+    /// Metric family: "mops", "ops_per_sec", or "p99_ns".
+    pub family: &'static str,
+    /// The value, as f64 (u64 leaves are converted).
+    pub value: f64,
+}
+
+/// The metric family of a JSON key, if it belongs to one.
+fn family_of(key: &str) -> Option<&'static str> {
+    if key == "mops" || key.ends_with("_mops") {
+        Some("mops")
+    } else if key.contains("ops_per_sec") {
+        Some("ops_per_sec")
+    } else if key == "p99_ns" || key.ends_with("_p99_ns") {
+        Some("p99_ns")
+    } else {
+        None
+    }
+}
+
+/// Recursively harvests metric leaves from `doc` into `out`.
+pub fn harvest(doc: &Json, path: &str, out: &mut Vec<Metric>) {
+    match doc {
+        Json::Obj(members) => {
+            for (key, value) in members {
+                let sub = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                if let Some(family) = family_of(key) {
+                    if let Some(v) = value.as_f64() {
+                        out.push(Metric { path: sub.clone(), family, value: v });
+                        continue;
+                    }
+                }
+                harvest(value, &sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                harvest(item, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Fallback for reports that declare their unit once at the top
+/// (`"units": "Mops/s"`, BENCH_PR1's shape) instead of naming it in
+/// every key: harvest every numeric leaf outside the scale/config
+/// preamble as throughput.
+fn harvest_declared_mops(doc: &Json, path: &str, out: &mut Vec<Metric>) {
+    const CONFIG_KEYS: &[&str] =
+        &["scale", "units", "threads", "seed", "warm_n", "write_latency_ns", "duration_ms"];
+    match doc {
+        Json::Obj(members) => {
+            for (key, value) in members {
+                if CONFIG_KEYS.contains(&key.as_str())
+                    || key.contains("pct")
+                    || key.contains("ratio")
+                {
+                    continue;
+                }
+                let sub = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                if let Some(v) = value.as_f64() {
+                    out.push(Metric { path: sub, family: "mops", value: v });
+                } else {
+                    harvest_declared_mops(value, &sub, out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                harvest_declared_mops(item, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A label for a point: prefer nearby identifying strings so
+/// `points[7].striped.mops` becomes readable. Falls back to the path.
+fn best_of<'a>(metrics: &'a [Metric], family: &'static str) -> Option<&'a Metric> {
+    metrics
+        .iter()
+        .filter(|m| m.family == family)
+        .max_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
+}
+
+/// Builds the markdown document from `(file, bench marker, metrics)`
+/// triples, already in PR order.
+pub fn render(reports: &[(String, String, Vec<Metric>)]) -> String {
+    let mut md = String::new();
+    md.push_str("# Benchmark trajectory\n\n");
+    md.push_str(
+        "Cross-PR index of every committed `BENCH_PR*.json`, regenerated with\n\
+         `cargo run -p bench --release --bin repro -- bench-index`. Numbers are\n\
+         *not* comparable across machines — within one regeneration they share a\n\
+         host, so the column to read is the story per PR, not absolute Mops.\n\n",
+    );
+
+    md.push_str("## Headlines\n\n");
+    md.push_str("| report | bench | peak throughput | worst p99 |\n");
+    md.push_str("|---|---|---|---|\n");
+    for (file, bench, metrics) in reports {
+        let peak = best_of(metrics, "mops")
+            .map(|m| format!("{:.3} Mops (`{}`)", m.value, m.path))
+            .or_else(|| {
+                best_of(metrics, "ops_per_sec")
+                    .map(|m| format!("{:.0} ops/s (`{}`)", m.value, m.path))
+            })
+            .unwrap_or_else(|| "—".into());
+        let tail = best_of(metrics, "p99_ns")
+            .map(|m| format!("{:.0} ns (`{}`)", m.value, m.path))
+            .unwrap_or_else(|| "—".into());
+        md.push_str(&format!("| {file} | {bench} | {peak} | {tail} |\n"));
+    }
+    md.push('\n');
+
+    for (file, bench, metrics) in reports {
+        md.push_str(&format!("## {file} — `{bench}`\n\n"));
+        if metrics.is_empty() {
+            md.push_str("No throughput or tail-latency leaves found.\n\n");
+            continue;
+        }
+        let mut rows: Vec<&Metric> = metrics.iter().collect();
+        rows.sort_by(|a, b| {
+            a.family.cmp(b.family).then(b.value.partial_cmp(&a.value).unwrap())
+        });
+        let shown = rows.len().min(ROWS_PER_PR);
+        md.push_str("| metric | value | path |\n|---|---|---|\n");
+        for m in &rows[..shown] {
+            let value = match m.family {
+                "p99_ns" => format!("{:.0} ns", m.value),
+                "mops" => format!("{:.4} Mops", m.value),
+                _ => format!("{:.0} ops/s", m.value),
+            };
+            md.push_str(&format!("| {} | {} | `{}` |\n", m.family, value, m.path));
+        }
+        if rows.len() > shown {
+            md.push_str(&format!(
+                "\n({} of {} metric leaves shown — top {ROWS_PER_PR} by value per family)\n",
+                shown,
+                rows.len()
+            ));
+        }
+        md.push('\n');
+    }
+    md
+}
+
+/// Loads one report file into a `(file, bench marker, metrics)` triple.
+/// Unparseable files become an error string so a corrupt report fails
+/// the index loudly instead of vanishing from it.
+pub fn load_report(dir: &std::path::Path, file: &str) -> Result<(String, String, Vec<Metric>), String> {
+    let body = std::fs::read_to_string(dir.join(file)).map_err(|e| format!("{file}: {e}"))?;
+    let doc = obs::parse(&body).map_err(|e| format!("{file}: {e}"))?;
+    let bench = doc
+        .get("bench")
+        .and_then(|b| b.as_str())
+        .unwrap_or("(unmarked)")
+        .to_string();
+    let mut metrics = Vec::new();
+    harvest(&doc, "", &mut metrics);
+    if metrics.is_empty()
+        && doc.get("units").and_then(|u| u.as_str()).is_some_and(|u| u.starts_with("Mops"))
+    {
+        harvest_declared_mops(&doc, "", &mut metrics);
+    }
+    Ok((file.to_string(), bench, metrics))
+}
+
+/// `repro bench-index`: walk `dir` for `BENCH_PR*.json`, harvest, and
+/// write the markdown trajectory to `out_path`.
+pub fn bench_index(dir: &std::path::Path, out_path: &str) {
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .expect("read bench dir")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_PR") && n.ends_with(".json"))
+        .collect();
+    // Numeric PR order, not lexicographic (PR10 after PR9).
+    files.sort_by_key(|n| {
+        n.trim_start_matches("BENCH_PR").trim_end_matches(".json").parse::<u64>().unwrap_or(u64::MAX)
+    });
+    assert!(!files.is_empty(), "no BENCH_PR*.json reports under {}", dir.display());
+
+    let mut reports = Vec::new();
+    for file in &files {
+        match load_report(dir, file) {
+            Ok(r) => {
+                println!("{file}: {} metric leaves ({})", r.2.len(), r.1);
+                reports.push(r);
+            }
+            Err(e) => panic!("bench-index: {e}"),
+        }
+    }
+    let md = render(&reports);
+    std::fs::write(out_path, &md).expect("write trajectory markdown");
+    println!("\nwrote {out_path} ({} reports)", reports.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harvest_finds_nested_metric_leaves() {
+        let doc = obs::parse(
+            r#"{"bench": "x", "points": [{"striped": {"mops": 1.25, "p99_ns": 900}},
+                {"striped": {"mops": 2.5}}], "overhead": {"enabled_mops": 3.0},
+                "noise": {"p50_ns": 5}}"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        harvest(&doc, "", &mut out);
+        let paths: Vec<&str> = out.iter().map(|m| m.path.as_str()).collect();
+        assert!(paths.contains(&"points[0].striped.mops"));
+        assert!(paths.contains(&"points[1].striped.mops"));
+        assert!(paths.contains(&"points[0].striped.p99_ns"));
+        assert!(paths.contains(&"overhead.enabled_mops"));
+        assert_eq!(out.len(), 4, "p50_ns must not be harvested: {paths:?}");
+        assert_eq!(best_of(&out, "mops").unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn render_caps_rows_and_says_so() {
+        let metrics: Vec<Metric> = (0..30)
+            .map(|i| Metric { path: format!("p[{i}].mops"), family: "mops", value: i as f64 })
+            .collect();
+        let md = render(&[("BENCH_PR5.json".into(), "pr5".into(), metrics)]);
+        assert!(md.contains("12 of 30 metric leaves shown"));
+        assert!(md.contains("| BENCH_PR5.json | pr5 | 29.000 Mops"));
+    }
+
+    #[test]
+    fn declared_units_reports_fall_back_to_all_numeric_leaves() {
+        let doc = obs::parse(
+            r#"{"bench": "pr1", "units": "Mops/s", "threads": 1,
+                "scale": {"warm_n": 200000}, "trees": [{"tree": "NvTree",
+                "after": {"find": 3.18, "insert": 0.99},
+                "improvement_pct": {"find": 250.0}}]}"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        harvest(&doc, "", &mut out);
+        assert!(out.is_empty());
+        harvest_declared_mops(&doc, "", &mut out);
+        let paths: Vec<&str> = out.iter().map(|m| m.path.as_str()).collect();
+        assert_eq!(paths, ["trees[0].after.find", "trees[0].after.insert"]);
+        assert!(out.iter().all(|m| m.family == "mops"));
+    }
+
+    #[test]
+    fn bench_index_walks_the_committed_reports() {
+        // The repo root holds the real committed reports; the walk must
+        // parse every one of them (a corrupt report fails loudly).
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let out = std::env::temp_dir().join("bench_trajectory_smoke.md");
+        bench_index(&root, out.to_str().unwrap());
+        let md = std::fs::read_to_string(&out).unwrap();
+        assert!(md.contains("# Benchmark trajectory"));
+        assert!(md.contains("BENCH_PR1.json"));
+        assert!(md.contains("BENCH_PR5.json"));
+        std::fs::remove_file(&out).ok();
+    }
+}

@@ -283,6 +283,7 @@ impl HtmDomain {
             // and the rv sample (the exact race a bare `wait_until_free`
             // here had).
             self.stats.attempts.fetch_add(1, Relaxed);
+            obs::note_htm_attempt();
             crate::set_in_transaction(true);
             // Commit-time fallback subscription: the txn tracks its stripe
             // footprint as a bitmask and checks the global word + footprint
@@ -309,11 +310,13 @@ impl HtmDomain {
                 Err(a) => a,
             };
             footprint |= mask;
+            obs::note_stripes(mask);
 
             retries += 1;
             let take_fallback = match abort.code {
                 AbortCode::Conflict => {
                     self.stats.aborts_conflict.fetch_add(1, Relaxed);
+                    obs::note_htm_abort(0);
                     conflicts += 1;
                     let budget = if self.policy.adaptive {
                         let b = effective_budget(self.policy.max_retries, adapt_streak());
@@ -327,6 +330,7 @@ impl HtmDomain {
                 }
                 AbortCode::Capacity => {
                     self.stats.aborts_capacity.fetch_add(1, Relaxed);
+                    obs::note_htm_abort(1);
                     if self.policy.adaptive {
                         adapt_learn_site(site);
                     }
@@ -334,10 +338,12 @@ impl HtmDomain {
                 }
                 AbortCode::FlushInTxn => {
                     self.stats.aborts_flush.fetch_add(1, Relaxed);
+                    obs::note_htm_abort(3);
                     true
                 }
                 AbortCode::Explicit(_) => {
                     self.stats.aborts_explicit.fetch_add(1, Relaxed);
+                    obs::note_htm_abort(2);
                     false
                 }
             };
@@ -395,6 +401,16 @@ impl HtmDomain {
         let guard = self.stripes.acquire_mask(mask, &self.stats.stripe_conflicts);
         self.stats.fallbacks.fetch_add(1, Relaxed);
         self.stats.fallbacks_striped.fetch_add(1, Relaxed);
+        obs::note_fallback(1);
+        // Heat attribution: each stripe this fallback serializes on gets
+        // one unit — already off the optimistic path, so the sketch CAS
+        // cost is noise next to the stripe acquisition itself.
+        let mut bits = mask;
+        while bits != 0 {
+            let s = bits.trailing_zeros() as u64;
+            self.stats.stripe_heat.record(s, 1);
+            bits &= bits - 1;
+        }
         let mut txn = Txn::striped(self.opts, mask);
         // The striped body buffers its writes exactly like an optimistic
         // one, so a raw flush in here would persist pre-publication state:
@@ -441,6 +457,7 @@ impl HtmDomain {
         let stripe_guard = self.stripes.acquire_all(&self.stats.stripe_conflicts);
         self.stats.fallbacks.fetch_add(1, Relaxed);
         self.stats.fallbacks_global.fetch_add(1, Relaxed);
+        obs::note_fallback(2);
         let mut txn = Txn::irrevocable(self.opts);
         let result = body(&mut txn);
         drop(stripe_guard);

@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use obs::{AtomicHistogram, Histogram, Json, ToJson};
+use obs::{AtomicHistogram, HeatSketch, Histogram, Json, ToJson};
 
 /// Live counters attached to an [`crate::HtmDomain`].
 #[derive(Debug, Default)]
@@ -51,6 +51,11 @@ pub struct HtmStats {
     /// A mass at low values means sustained contention has collapsed the
     /// optimistic budget. Read via [`HtmStats::retry_budget`].
     pub retry_budget: AtomicHistogram,
+    /// Structural heat: which fallback *stripes* serialize. Keyed by
+    /// stripe index, weighted one per stripe held by a tier-1 (striped)
+    /// fallback run — hot stripes are where optimism dies. Fed only on
+    /// the (already slow) fallback path, never inside a transaction.
+    pub stripe_heat: HeatSketch,
 }
 
 impl HtmStats {
@@ -98,6 +103,7 @@ impl HtmStats {
         self.stripe_conflicts.store(0, Ordering::Relaxed);
         self.retries.reset();
         self.retry_budget.reset();
+        self.stripe_heat.reset();
     }
 }
 

@@ -500,9 +500,18 @@ impl InnerIndex {
             // growth installs a fully-built node before swinging the word),
             // so a plain acquire load suffices here.
             let mut node_ref = self.root.load_direct();
+            // Per-descent trace accounting (levels, cache hits/misses);
+            // plain locals, handed to the sampled span only at the end.
+            let (mut depth, mut hits, mut misses) = (0u32, 0u32, 0u32);
             while !is_leaf_ref(node_ref) {
                 match self.cached_child(cache, node_ref, c) {
-                    Some(child) => {
+                    Some((child, hit)) => {
+                        depth += 1;
+                        if hit {
+                            hits += 1;
+                        } else {
+                            misses += 1;
+                        }
                         node_ref = child;
                         if !is_leaf_ref(node_ref) {
                             prefetch_node(node_ref as *const Inner);
@@ -511,6 +520,7 @@ impl InnerIndex {
                     None => continue 'restart,
                 }
             }
+            obs::note_descent(depth, hits, misses);
             return crate::leaf_off(node_ref);
         }
         self.descent_tm_fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -521,12 +531,14 @@ impl InnerIndex {
     /// validated frame; miss → fill a frame from a gate-validated node
     /// snapshot (serving the step from the same snapshot); no frame
     /// available → gate-validated direct read. `None` means validation
-    /// failed somewhere and the descent must restart from the root.
-    fn cached_child(&self, cache: &PageCache, node_ref: u64, c: Cmp<'_>) -> Option<u64> {
+    /// failed somewhere and the descent must restart from the root; the
+    /// returned flag says whether the step was served from a cached
+    /// frame (trace accounting).
+    fn cached_child(&self, cache: &PageCache, node_ref: u64, c: Cmp<'_>) -> Option<(u64, bool)> {
         if let Some(child) =
             cache.optimistic_read(node_ref, |v: &FrameView<'_>| route_words(|i| v.word(i), |w| self.cmp_le(c, w)))
         {
-            return Some(child);
+            return Some((child, true));
         }
         let inner = self.deref(node_ref);
         if let Some(guard) = cache.begin_fill(node_ref) {
@@ -543,7 +555,7 @@ impl InnerIndex {
             if self.gate.validate(token) {
                 let child = route_words(|i| words[i], |w| self.cmp_le(c, w));
                 guard.commit(&words);
-                return Some(child);
+                return Some((child, false));
             }
             guard.abandon();
             return None;
@@ -563,7 +575,7 @@ impl InnerIndex {
             }
         }
         let child = inner.children[lo].load_direct();
-        self.gate.validate(token).then_some(child)
+        self.gate.validate(token).then_some((child, false))
     }
 
     /// Sequential traversal for quiescent phases (single-threaded

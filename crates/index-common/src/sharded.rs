@@ -502,13 +502,37 @@ impl<T: PersistentIndex> PersistentIndex for ShardedIndex<T> {
 /// `shardN.<section>`, so one registry entry for the composite index
 /// exports the full per-shard breakdown (pmem counters, HTM taxonomy,
 /// phase timers — whatever the shard type provides).
+///
+/// Heat sections (`heat.*`) are *additionally* merged across shards
+/// into unprefixed sections of the same name: entry keys get the shard
+/// index in their top byte (leaf offsets and stripe/set indices never
+/// reach 2^56), so a composite top-K still says which shard's structure
+/// is hot while ranking globally.
 impl<T: PersistentIndex + obs::ObsSource> obs::ObsSource for ShardedIndex<T> {
     fn obs_sections(&self) -> Vec<(String, obs::Section)> {
+        const MERGED_TOP_K: usize = 16;
         let mut out = Vec::new();
+        let mut merged: Vec<(String, Vec<obs::HeatEntry>)> = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
             for (name, section) in shard.obs_sections() {
+                if name.starts_with("heat.") {
+                    if let obs::Section::Heat(entries) = &section {
+                        let tagged = entries
+                            .iter()
+                            .map(|e| obs::HeatEntry { key: ((i as u64) << 56) | e.key, ..*e });
+                        match merged.iter_mut().find(|(n, _)| *n == name) {
+                            Some((_, all)) => all.extend(tagged),
+                            None => merged.push((name.clone(), tagged.collect())),
+                        }
+                    }
+                }
                 out.push((format!("shard{i}.{name}"), section));
             }
+        }
+        for (name, mut entries) in merged {
+            entries.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+            entries.truncate(MERGED_TOP_K);
+            out.push((name, obs::Section::Heat(entries)));
         }
         out
     }

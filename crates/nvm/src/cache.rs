@@ -58,7 +58,7 @@
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use obs::{EventKind, EventRing};
+use obs::{EventKind, EventRing, HeatSketch};
 
 /// Associativity: frames per set. Four ways keeps the fill-time victim
 /// search and the invalidation scan at a handful of loads.
@@ -245,6 +245,10 @@ pub struct PageCache {
     evictions: AtomicU64,
     invalidations: AtomicU64,
     read_restarts: AtomicU64,
+    /// Structural heat keyed by cache *set* index: which sets thrash.
+    /// Fed on evictions and failed optimistic validations only (both
+    /// already off the hit path), weight 1 each.
+    set_heat: HeatSketch,
 }
 
 impl std::fmt::Debug for PageCache {
@@ -278,12 +282,19 @@ impl PageCache {
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             read_restarts: AtomicU64::new(0),
+            set_heat: HeatSketch::default(),
         }
     }
 
     /// Actual frame capacity after rounding.
     pub fn frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// The per-set pressure sketch (evictions + failed optimistic
+    /// validations, keyed by set index).
+    pub fn set_heat(&self) -> &HeatSketch {
+        &self.set_heat
     }
 
     /// Counter snapshot.
@@ -334,6 +345,7 @@ impl PageCache {
             if sv2 != sv1 {
                 self.read_restarts.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.set_heat.record(set as u64, 1);
                 return None;
             }
             // Second chance: a hit on a Marked frame un-marks it (best
@@ -423,6 +435,7 @@ impl PageCache {
                 ST_MARKED if self.claim(frame, sv).is_some() => {
                     let old_tag = frame.tag.load(Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.set_heat.record(set as u64, 1);
                     if let Some(ev) = &self.events {
                         ev.record(EventKind::CacheEvict, old_tag, version_of(sv));
                     }

@@ -286,6 +286,7 @@ impl PmemPool {
         if len == 0 {
             self.stats.fences.fetch_add(1, Ordering::Relaxed);
             self.stats.persists.fetch_add(1, Ordering::Relaxed);
+            obs::note_persist(1);
             return;
         }
         self.check(off, len);
@@ -301,6 +302,7 @@ impl PmemPool {
         }
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
         self.stats.persists.fetch_add(1, Ordering::Relaxed);
+        obs::note_persist(1);
     }
 
     /// The coalesced persistent instruction: flush the cache lines covering
@@ -344,6 +346,7 @@ impl PmemPool {
         }
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
         self.stats.persists.fetch_add(1, Ordering::Relaxed);
+        obs::note_persist(1);
     }
 
     /// Issues the CLWBs for `[off, off+len)` without the trailing fence:
@@ -396,6 +399,7 @@ impl PmemPool {
         }
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
         self.stats.persists.fetch_add(1, Ordering::Relaxed);
+        obs::note_persist(1);
     }
 
     /// Flushes a single line: latency stall + durable-image copy.

@@ -211,6 +211,17 @@ impl EventRing {
         self.seq.load(Relaxed)
     }
 
+    /// Events lost to ring wrap: each stripe overwrites its oldest slot
+    /// once its head passes the stripe capacity, so the loss is the sum
+    /// of every stripe's overshoot. A non-zero value means the dump is
+    /// a suffix of the true timeline, not the whole of it.
+    pub fn dropped(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.head.load(Relaxed).saturating_sub(SLOTS_PER_STRIPE) as u64)
+            .sum()
+    }
+
     /// Dumps the surviving events, oldest first. Call from quiescent
     /// code (post-crash, report time); events recorded concurrently
     /// with the dump may be missed.
@@ -276,6 +287,18 @@ mod tests {
         assert_eq!(dump.len(), SLOTS_PER_STRIPE);
         assert_eq!(dump.last().unwrap().a, SLOTS_PER_STRIPE as u64 + 49);
         assert_eq!(ring.recorded(), SLOTS_PER_STRIPE as u64 + 50);
+        assert_eq!(ring.dropped(), 50, "overwrites are visible as drops");
+    }
+
+    #[test]
+    fn empty_ring_reports_no_drops() {
+        let ring = EventRing::new();
+        assert_eq!(ring.dropped(), 0);
+        #[cfg(feature = "record")]
+        {
+            ring.record(EventKind::Split, 1, 2);
+            assert_eq!(ring.dropped(), 0, "no drops until a stripe wraps");
+        }
     }
 
     #[test]

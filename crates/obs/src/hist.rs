@@ -147,6 +147,28 @@ impl Histogram {
         self.max
     }
 
+    /// Bucket-wise difference `self − earlier` (saturating), for turning
+    /// two cumulative snapshots into the distribution of the samples
+    /// recorded *between* them. Min/max of the delta are re-derived from
+    /// its occupied buckets (bucket precision, like
+    /// [`AtomicHistogram::snapshot`]).
+    pub fn minus(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        for (idx, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            let n = a.saturating_sub(*b);
+            if n == 0 {
+                continue;
+            }
+            d.counts[idx] = n;
+            d.total += n;
+            let floor = bucket_floor(idx);
+            d.min = d.min.min(floor);
+            d.max = d.max.max(floor);
+        }
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        d
+    }
+
     /// Condenses the distribution to the fixed quantile set every export
     /// carries.
     pub fn quantiles(&self) -> Quantiles {

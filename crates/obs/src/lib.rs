@@ -15,6 +15,19 @@
 //! - [`events`] — a fixed-capacity per-thread [`EventRing`] for crash
 //!   forensics (splits, journal rollbacks, crash injections, recovery
 //!   steps, pool exhaustion).
+//! - [`heat`] — a lock-free striped top-K [`HeatSketch`]
+//!   (space-saving style) attributing contention to *structures*: which
+//!   leaves abort, which fallback stripes serialize, which cache sets
+//!   thrash.
+//! - [`trace`] — sampled per-operation spans ([`OpSpan`] in a
+//!   [`TraceRing`]): descent depth, cache hits, HTM attempts with
+//!   per-attempt abort causes, fallback tier, stripes touched and
+//!   persist counts for one op, stitched together through thread-local
+//!   `note_*` hooks so the layers need no plumbing changes.
+//! - [`timeline`] — windowed percentile-over-time series
+//!   ([`Timeline`]): periodic cumulative snapshots are diffed into
+//!   per-window p50/p99 + throughput, so benches can show *when* a run
+//!   degraded, not just that it did.
 //! - [`registry`] — the [`ObsSource`] trait plus [`ObsRegistry`],
 //!   whose [`ObsRegistry::snapshot`] renders to JSON and Prometheus
 //!   text exposition.
@@ -35,13 +48,26 @@
 #![deny(missing_docs)]
 
 pub mod events;
+pub mod heat;
 pub mod hist;
 pub mod json;
 pub mod ops;
 pub mod registry;
+pub mod timeline;
+pub mod trace;
 
 pub use events::{Event, EventKind, EventRing};
+pub use heat::{HeatEntry, HeatSketch};
 pub use hist::{AtomicHistogram, Histogram, Quantiles};
 pub use json::{parse, Json, ToJson};
-pub use ops::{OpHistograms, OpType, Phase, PhaseClock, PhaseTimers, Recorder, N_OPS, N_PHASES};
+pub use ops::{
+    OpClass, OpHistograms, OpType, Phase, PhaseClock, PhaseTimers, Recorder, N_CLASSES, N_OPS,
+    N_PHASES,
+};
 pub use registry::{ObsGroup, ObsRegistry, ObsSnapshot, ObsSource, Section};
+pub use timeline::{Timeline, TimelineWindow};
+pub use trace::{
+    note_descent, note_fallback, note_htm_abort, note_htm_attempt, note_leaf, note_persist,
+    note_phase, note_stripes, section_mark, span_active, span_begin, span_finish, OpSpan,
+    SectionDelta, SectionMark, TraceRing, DEFAULT_TRACE_SHIFT,
+};

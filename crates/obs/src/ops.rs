@@ -90,6 +90,88 @@ impl OpType {
     }
 }
 
+/// Coarse operation classes for per-class recording and rollups: the
+/// per-txn-type histogram foundation (read / update / insert / remove /
+/// scan / batch). Each [`OpType`] maps onto exactly one class via
+/// [`OpType::class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Point lookups (`find`).
+    Read = 0,
+    /// In-place writes (`update`, `upsert`).
+    Update = 1,
+    /// Key-creating writes (`insert`).
+    Insert = 2,
+    /// Deletions (`remove`).
+    Remove = 3,
+    /// Range reads (`scan_n`).
+    Scan = 4,
+    /// Multi-key operations (`insert_batch`, `load_sorted`).
+    Batch = 5,
+}
+
+/// Number of [`OpClass`] variants.
+pub const N_CLASSES: usize = 6;
+
+impl OpClass {
+    /// Every class, in export order.
+    pub const ALL: [OpClass; N_CLASSES] = [
+        OpClass::Read,
+        OpClass::Update,
+        OpClass::Insert,
+        OpClass::Remove,
+        OpClass::Scan,
+        OpClass::Batch,
+    ];
+
+    /// Stable lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Update => "update",
+            OpClass::Insert => "insert",
+            OpClass::Remove => "remove",
+            OpClass::Scan => "scan",
+            OpClass::Batch => "batch",
+        }
+    }
+}
+
+impl OpType {
+    /// The coarse class this op type rolls up into.
+    pub fn class(self) -> OpClass {
+        match self {
+            OpType::Search => OpClass::Read,
+            OpType::Update | OpType::Upsert => OpClass::Update,
+            OpType::Insert => OpClass::Insert,
+            OpType::Remove => OpClass::Remove,
+            OpType::Scan => OpClass::Scan,
+            OpType::InsertBatch | OpType::LoadSorted => OpClass::Batch,
+        }
+    }
+}
+
+/// Per-class sampling counters: each class rolls its own 1-in-2^shift
+/// stream, so a read-dominated workload can no longer starve the write
+/// classes of latency samples (with one shared counter, whichever class
+/// happens to land on the counter's multiples wins all the samples).
+#[cfg_attr(not(feature = "record"), allow(dead_code))]
+#[inline]
+fn sampled_class(class: OpClass, shift: u32) -> bool {
+    if shift == 0 {
+        return true;
+    }
+    thread_local! {
+        static CTRS: [Cell<u64>; N_CLASSES] = const { [const { Cell::new(0) }; N_CLASSES] };
+    }
+    CTRS.with(|c| {
+        let cell = &c[class as usize];
+        let v = cell.get().wrapping_add(1);
+        cell.set(v);
+        v & ((1u64 << shift) - 1) == 0
+    })
+}
+
 /// One latency histogram per operation type, shared across threads.
 pub struct OpHistograms {
     hists: [AtomicHistogram; N_OPS],
@@ -131,6 +213,17 @@ impl OpHistograms {
     /// Snapshot of one op's histogram.
     pub fn snapshot(&self, op: OpType) -> Histogram {
         self.hists[op as usize].snapshot()
+    }
+
+    /// Merged snapshot of every op histogram rolling up into `class`.
+    pub fn snapshot_class(&self, class: OpClass) -> Histogram {
+        let mut h = Histogram::new();
+        for op in OpType::ALL {
+            if op.class() == class {
+                h.merge(&self.snapshot(op));
+            }
+        }
+        h
     }
 
     /// Clears every histogram (quiescent use).
@@ -184,6 +277,28 @@ impl Recorder {
         }
         #[cfg(not(feature = "record"))]
         None
+    }
+
+    /// Starts timing one operation with *per-class* sampling: the class
+    /// of `op` rolls its own 1-in-2^shift counter, so a read-dominated
+    /// mix still yields latency samples for the rare write classes.
+    /// `None` when disabled, not sampled this time, or compiled out.
+    #[inline]
+    pub fn start_op(&self, op: OpType) -> Option<Instant> {
+        #[cfg(feature = "record")]
+        {
+            match &self.hists {
+                Some(h) if sampled_class(op.class(), h.sample_shift.load(Relaxed)) => {
+                    Some(Instant::now())
+                }
+                _ => None,
+            }
+        }
+        #[cfg(not(feature = "record"))]
+        {
+            let _ = op;
+            None
+        }
     }
 
     /// Completes a timing started by [`Recorder::start`].
@@ -337,12 +452,16 @@ impl PhaseClock {
     }
 
     /// Records the span since the last mark/lap as `phase`, and starts
-    /// the next span.
+    /// the next span. Also feeds the active trace span (if any), so a
+    /// sampled op's trace carries the same phase breakdown the timers
+    /// aggregate.
     #[inline]
     pub fn lap(&mut self, timers: &PhaseTimers, phase: Phase) {
         if let Some(t0) = self.t0 {
             let now = Instant::now();
-            timers.record(phase, saturating_ns(now.duration_since(t0)));
+            let ns = saturating_ns(now.duration_since(t0));
+            timers.record(phase, ns);
+            crate::trace::note_phase(phase, ns);
             self.t0 = Some(now);
         }
     }
@@ -405,6 +524,52 @@ mod tests {
         }
         assert_eq!(started, 100, "1-in-8 sampling");
         assert_eq!(h.snapshot(OpType::Search).count(), 100);
+    }
+
+    #[test]
+    #[cfg(feature = "record")] // asserts recording, which is compiled out otherwise
+    fn per_class_sampling_is_independent() {
+        let h = Arc::new(OpHistograms::new());
+        h.set_sample_shift(3);
+        let r = Recorder::new(Arc::clone(&h));
+        // 800 searches interleaved with 16 inserts. A single shared
+        // counter would give the inserts essentially no samples; the
+        // per-class counters must still sample 1-in-8 of each class.
+        for i in 0..800 {
+            if let Some(t0) = r.start_op(OpType::Search) {
+                r.finish(OpType::Search, t0);
+            }
+            if i % 50 == 0 {
+                if let Some(t0) = r.start_op(OpType::Insert) {
+                    r.finish(OpType::Insert, t0);
+                }
+            }
+        }
+        assert_eq!(h.snapshot(OpType::Search).count(), 100);
+        assert_eq!(h.snapshot(OpType::Insert).count(), 2, "16 inserts / 8");
+    }
+
+    #[test]
+    #[cfg(feature = "record")] // asserts recording, which is compiled out otherwise
+    fn class_rollup_merges_member_ops() {
+        let h = OpHistograms::new();
+        h.record(OpType::Update, 100);
+        h.record(OpType::Upsert, 200);
+        h.record(OpType::Insert, 300);
+        assert_eq!(h.snapshot_class(OpClass::Update).count(), 2);
+        assert_eq!(h.snapshot_class(OpClass::Insert).count(), 1);
+        assert_eq!(h.snapshot_class(OpClass::Read).count(), 0);
+    }
+
+    #[test]
+    fn op_classes_partition_the_op_types() {
+        for op in OpType::ALL {
+            // Every op maps to exactly one class and the mapping is in
+            // the ALL table.
+            assert!(OpClass::ALL.contains(&op.class()));
+        }
+        assert_eq!(OpType::Search.class().name(), "read");
+        assert_eq!(OpType::LoadSorted.class().name(), "batch");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use std::sync::Arc;
 
 use crate::events::Event;
+use crate::heat::HeatEntry;
 use crate::hist::{Histogram, Quantiles};
 use crate::json::{Json, ToJson};
 
@@ -20,6 +21,10 @@ pub enum Section {
     Latencies(Vec<(String, Histogram)>),
     /// An event-ring dump.
     Events(Vec<Event>),
+    /// A heat-sketch top-K table, hottest first: `(key, count, err)`
+    /// per entry, key meaning per section (leaf offset, stripe index,
+    /// cache set, …).
+    Heat(Vec<HeatEntry>),
 }
 
 impl ToJson for Quantiles {
@@ -62,6 +67,7 @@ impl ToJson for Section {
                 o
             }
             Section::Events(events) => events.to_json(),
+            Section::Heat(entries) => entries.to_json(),
         }
     }
 }
@@ -203,6 +209,14 @@ impl ObsSnapshot {
                         events.len()
                     ));
                 }
+                Section::Heat(entries) => {
+                    for (rank, e) in entries.iter().enumerate() {
+                        out.push_str(&format!(
+                            "rn_{sec}_count{{source=\"{src}\",rank=\"{rank}\",key=\"{}\"}} {}\n",
+                            e.key, e.count
+                        ));
+                    }
+                }
             }
         }
         out
@@ -228,6 +242,13 @@ mod tests {
                 (
                     "events".into(),
                     Section::Events(vec![Event { seq: 0, kind: EventKind::Split, a: 1, b: 2 }]),
+                ),
+                (
+                    "heat.leaf_conflicts".into(),
+                    Section::Heat(vec![
+                        HeatEntry { key: 4096, count: 17, err: 2 },
+                        HeatEntry { key: 8192, count: 5, err: 0 },
+                    ]),
                 ),
             ]
         }
@@ -263,5 +284,17 @@ mod tests {
         assert!(prom.contains("rn_pmem_persists{source=\"shard0\"} 42"));
         assert!(prom.contains("rn_ops_ns{source=\"shard1\",item=\"insert\",quantile=\"0.5\"}"));
         assert!(prom.contains("rn_events_total{source=\"shard0\"} 1"));
+        assert!(prom
+            .contains("rn_heat_leaf_conflicts_count{source=\"shard0\",rank=\"0\",key=\"4096\"} 17"));
+
+        let heat = back
+            .get("sources")
+            .and_then(|s| s.get("shard0"))
+            .and_then(|s| s.get("heat.leaf_conflicts"))
+            .and_then(|v| v.as_arr())
+            .expect("heat section renders as an array");
+        assert_eq!(heat.len(), 2);
+        assert_eq!(heat[0].get("key").and_then(|v| v.as_u64()), Some(4096));
+        assert_eq!(heat[0].get("count").and_then(|v| v.as_u64()), Some(17));
     }
 }

@@ -1,0 +1,214 @@
+//! Time-resolved metrics: a [`Timeline`] turns periodic cumulative
+//! snapshots (a latency histogram plus an op counter) into *windowed
+//! deltas* — per-window p50/p99 and throughput — kept in a fixed ring,
+//! so a benchmark can report percentile-over-time series instead of one
+//! end-of-run number.
+//!
+//! This is a quiescent-path helper: a bench (or scrape) thread calls
+//! [`Timeline::tick`] every few milliseconds with the *cumulative*
+//! histogram/counters; the timeline diffs against the previous tick
+//! ([`Histogram::merge`]'s inverse is a bucket-wise subtract) and pushes
+//! one [`TimelineWindow`]. Nothing here touches the operation hot path.
+
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+use crate::json::{Json, ToJson};
+
+/// Default ring capacity: enough for a multi-minute run at 100 ms
+/// windows before the oldest windows roll off.
+const DEFAULT_WINDOWS: usize = 4096;
+
+/// One windowed delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineWindow {
+    /// Milliseconds from the timeline's start to this window's end.
+    pub t_ms: u64,
+    /// Operations completed inside the window.
+    pub ops: u64,
+    /// Latency samples recorded inside the window.
+    pub samples: u64,
+    /// Median latency of the window's samples (ns; 0 when empty).
+    pub p50_ns: u64,
+    /// 99th-percentile latency of the window's samples (ns; 0 when
+    /// empty).
+    pub p99_ns: u64,
+}
+
+impl ToJson for TimelineWindow {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("t_ms", Json::U64(self.t_ms));
+        o.set("ops", Json::U64(self.ops));
+        o.set("samples", Json::U64(self.samples));
+        o.set("p50_ns", Json::U64(self.p50_ns));
+        o.set("p99_ns", Json::U64(self.p99_ns));
+        o
+    }
+}
+
+struct TimelineState {
+    prev_hist: Histogram,
+    prev_ops: u64,
+    windows: Vec<TimelineWindow>,
+    dropped: u64,
+}
+
+/// The windowed-delta ring. Interior-mutable behind a mutex: only
+/// quiescent snapshot/scrape threads touch it, never the op hot path.
+pub struct Timeline {
+    capacity: usize,
+    state: Mutex<TimelineState>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new(DEFAULT_WINDOWS)
+    }
+}
+
+impl Timeline {
+    /// A timeline keeping at most `capacity` windows (oldest roll off).
+    pub fn new(capacity: usize) -> Timeline {
+        Timeline {
+            capacity: capacity.max(1),
+            state: Mutex::new(TimelineState {
+                prev_hist: Histogram::new(),
+                prev_ops: 0,
+                windows: Vec::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records one window: `hist` and `ops` are *cumulative* values as
+    /// of now; the delta against the previous tick becomes the window.
+    /// `t_ms` is the caller's clock (ms since its chosen origin).
+    pub fn tick(&self, t_ms: u64, hist: &Histogram, ops: u64) {
+        let mut st = self.state.lock().unwrap();
+        let delta = hist.minus(&st.prev_hist);
+        let q = delta.quantiles();
+        let win = TimelineWindow {
+            t_ms,
+            ops: ops.saturating_sub(st.prev_ops),
+            samples: q.count,
+            p50_ns: q.p50,
+            p99_ns: q.p99,
+        };
+        st.prev_hist = hist.clone();
+        st.prev_ops = ops;
+        if st.windows.len() == self.capacity {
+            st.windows.remove(0);
+            st.dropped += 1;
+        }
+        st.windows.push(win);
+    }
+
+    /// All retained windows, oldest first.
+    pub fn windows(&self) -> Vec<TimelineWindow> {
+        self.state.lock().unwrap().windows.clone()
+    }
+
+    /// Windows lost to ring wrap.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().unwrap().dropped
+    }
+
+    /// Resets the ring and the delta baseline.
+    pub fn reset(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.prev_hist = Histogram::new();
+        st.prev_ops = 0;
+        st.windows.clear();
+        st.dropped = 0;
+    }
+
+    /// The retained series as a JSON array of window objects.
+    pub fn series_json(&self) -> Json {
+        Json::Arr(self.windows().iter().map(|w| w.to_json()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_with(values: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn windows_are_deltas_not_cumulatives() {
+        let tl = Timeline::new(16);
+        let mut cum = hist_with(&[100, 100, 100]);
+        tl.tick(10, &cum, 3);
+        // Second window adds slower samples; its percentiles must reflect
+        // only the new mass.
+        for _ in 0..10 {
+            cum.record(10_000);
+        }
+        tl.tick(20, &cum, 13);
+        let w = tl.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].t_ms, w[0].ops, w[0].samples), (10, 3, 3));
+        assert_eq!((w[1].t_ms, w[1].ops, w[1].samples), (20, 10, 10));
+        assert!(w[0].p50_ns < 200, "first window is fast: {w:?}");
+        assert!(w[1].p50_ns > 5_000, "second window must not dilute: {w:?}");
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let tl = Timeline::new(4);
+        let mut cum = Histogram::new();
+        for i in 0..10u64 {
+            cum.record(50);
+            tl.tick(i * 10, &cum, i);
+        }
+        let w = tl.windows();
+        assert_eq!(w.len(), 4);
+        assert_eq!(tl.dropped(), 6);
+        assert_eq!(w[0].t_ms, 60, "oldest retained window");
+        assert_eq!(w[3].t_ms, 90);
+    }
+
+    #[test]
+    fn empty_windows_report_zero_quantiles() {
+        let tl = Timeline::new(4);
+        let cum = hist_with(&[500]);
+        tl.tick(10, &cum, 1);
+        tl.tick(20, &cum, 1); // nothing happened
+        let w = tl.windows();
+        assert_eq!(w[1].samples, 0);
+        assert_eq!(w[1].ops, 0);
+        assert_eq!(w[1].p50_ns, 0);
+        assert_eq!(w[1].p99_ns, 0);
+    }
+
+    #[test]
+    fn series_json_round_trips() {
+        let tl = Timeline::new(4);
+        tl.tick(5, &hist_with(&[100, 200]), 2);
+        let txt = tl.series_json().render();
+        let back = crate::json::parse(&txt).unwrap();
+        let arr = back.as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("ops").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(arr[0].get("samples").and_then(|v| v.as_u64()), Some(2));
+    }
+
+    #[test]
+    fn reset_restores_the_baseline() {
+        let tl = Timeline::new(4);
+        let cum = hist_with(&[100; 5]);
+        tl.tick(10, &cum, 5);
+        tl.reset();
+        assert!(tl.windows().is_empty());
+        // After reset the same cumulative snapshot is a fresh delta.
+        tl.tick(10, &cum, 5);
+        assert_eq!(tl.windows()[0].samples, 5);
+    }
+}

@@ -73,5 +73,5 @@ pub use report::SpaceReport;
 pub use layout::{LAYOUT_HASH, LAYOUT_SORTED, LEAF_BLOCK, LEAF_CAPACITY, MAX_LIVE};
 pub use recovery::ConfigError;
 pub use slots::SlotBuf;
-pub use tree::{LeafPolicy, RnConfig, RnStats, RnTree};
+pub use tree::{LeafHeat, LeafPolicy, RnConfig, RnStats, RnTree};
 pub use version::LeafVersion;

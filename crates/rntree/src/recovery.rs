@@ -191,6 +191,7 @@ impl RnTree {
             morphs_skipped: AtomicU64::new(0),
             probe_hist: obs::AtomicHistogram::new(),
             timers: PhaseTimers::new(),
+            heat: crate::tree::LeafHeat::default(),
         })
     }
 
@@ -371,6 +372,7 @@ impl RnTree {
             morphs_skipped: AtomicU64::new(0),
             probe_hist: obs::AtomicHistogram::new(),
             timers: PhaseTimers::new(),
+            heat: crate::tree::LeafHeat::default(),
         })
     }
 
@@ -508,6 +510,7 @@ impl RnTree {
             morphs_skipped: AtomicU64::new(0),
             probe_hist: obs::AtomicHistogram::new(),
             timers: PhaseTimers::new(),
+            heat: crate::tree::LeafHeat::default(),
         })
     }
 

@@ -34,7 +34,7 @@ use index_common::{
     U64Key, Value,
 };
 use nvm::{BlockAllocator, PmemPool, RootTable};
-use obs::{EventKind, ObsSource, Phase, PhaseTimers, Section};
+use obs::{EventKind, HeatSketch, ObsSource, Phase, PhaseTimers, Section};
 
 use crate::fingerprint::{fp_hash, FpTable};
 use crate::hashleaf::HashDir;
@@ -351,6 +351,24 @@ pub struct RnTree {
     /// Phase-breakdown timers (obs). Off by default; the modify path pays
     /// one relaxed load per op until [`RnTree::phase_timers`] enables them.
     pub(crate) timers: PhaseTimers,
+    /// Structural heat attribution (obs): which *leaves* draw HTM
+    /// aborts/fallbacks, splits and morphs. Fixed-capacity top-K
+    /// sketches, fed only on the already-slow paths (abort deltas,
+    /// splits, morphs) — never on a clean op.
+    pub(crate) heat: LeafHeat,
+}
+
+/// Per-leaf heat sketches; see [`RnTree::leaf_heat`]. Keys are leaf pool
+/// offsets throughout.
+#[derive(Debug, Default)]
+pub struct LeafHeat {
+    /// HTM aborts + fallback acquisitions attributed to the leaf whose
+    /// slot line the section edited (writes) or snapshotted (reads).
+    pub conflicts: HeatSketch,
+    /// Splits, keyed by the left (splitting) leaf.
+    pub splits: HeatSketch,
+    /// Layout morphs (either direction), keyed by the rewritten leaf.
+    pub morphs: HeatSketch,
 }
 
 /// Decision taken for an allocated log entry under the leaf lock.
@@ -415,6 +433,25 @@ impl RnTree {
     /// Page-cache counter snapshot, `None` when `cache_frames == 0`.
     pub fn cache_stats(&self) -> Option<nvm::CacheStats> {
         self.index.page_cache().map(|c| c.stats())
+    }
+
+    /// The per-leaf heat sketches (conflict / split / morph
+    /// attribution).
+    pub fn leaf_heat(&self) -> &LeafHeat {
+        &self.heat
+    }
+
+    /// Top-`k` fallback-stripe heat of this tree's HTM domain (which
+    /// stripes the tier-1 fallback path serialises on most often).
+    pub fn stripe_heat_top_k(&self, k: usize) -> Vec<obs::HeatEntry> {
+        self.index.domain().stats().stripe_heat.top_k(k)
+    }
+
+    /// Diagnostic: the pool offset of the leaf currently covering `key`
+    /// (racy under concurrent splits — meant for correlating heat-table
+    /// keys with planted workloads, not for navigation).
+    pub fn leaf_of(&self, key: Key) -> u64 {
+        self.traverse(key)
     }
 
     /// Restart taxonomy of the cached optimistic descent (zeros when the
@@ -531,6 +568,13 @@ impl RnTree {
             // single-threaded (`seq_traversal`) mode the slot is edited
             // with plain stores instead — see `edit_slot` for why this is
             // faithful.
+            // Heat attribution: the thread-local abort/fallback counters
+            // are read before and after the slot-line sections; any delta
+            // happened while this op held *this* leaf, so the leaf gets
+            // the blame. Free on the no-abort path (two TLS reads).
+            obs::note_leaf(leaf.off());
+            let sm = obs::section_mark();
+
             let hashed = leaf.layout() == LAYOUT_HASH;
             let decision = if self.cfg.seq_traversal {
                 let mut slot = leaf.read_slot_seq(WhichSlot::Persistent);
@@ -589,6 +633,11 @@ impl RnTree {
                 self.wasted.fetch_add(1, Ordering::Relaxed);
                 false
             };
+
+            let d = sm.since();
+            if d.aborts + d.fallbacks > 0 {
+                self.heat.conflicts.record(leaf.off(), d.aborts + d.fallbacks);
+            }
 
             let did_split = self.decide_and_maybe_split(leaf, applied);
             // Single-slot variant: version bump per modification (§5.2.2);
@@ -909,6 +958,7 @@ impl RnTree {
         // closes the lost-key window between Algorithm 3's lines 15/16).
         self.index.tree_update(sep, leaf_ref(right_off));
         self.splits.fetch_add(1, Ordering::Relaxed);
+        self.heat.splits.record(leaf.off(), 1);
         self.pool.events().record(EventKind::Split, leaf.off(), right_off);
         leaf.unset_split_bump();
     }
@@ -921,7 +971,15 @@ impl RnTree {
         if self.cfg.seq_traversal {
             leaf.read_slot_seq(kind)
         } else {
-            self.index.domain().atomic(|txn| leaf.read_slot_in(txn, kind))
+            // Reads aborting against a locked/contended leaf are the
+            // paper's headline pathology: attribute them like writes.
+            let sm = obs::section_mark();
+            let slot = self.index.domain().atomic(|txn| leaf.read_slot_in(txn, kind));
+            let d = sm.since();
+            if d.aborts + d.fallbacks > 0 {
+                self.heat.conflicts.record(leaf.off(), d.aborts + d.fallbacks);
+            }
+            slot
         }
     }
 
@@ -1256,6 +1314,7 @@ impl RnTree {
         } else {
             self.morphs_to_sorted.fetch_add(1, Ordering::Relaxed);
         }
+        self.heat.morphs.record(leaf.off(), 1);
         self.pool.events().record(EventKind::Morph, leaf.off(), target);
         leaf.unset_split_bump();
         true
@@ -1978,7 +2037,16 @@ impl ObsSource for RnTree {
     /// attached), `keys` (head-tie fallback counters, present only in
     /// byte-keyed mode), `leaf` (per-layout leaf census plus morph
     /// counters) with `leaf_probes` (the hash-directory probe-length
-    /// distribution), and `events` (the pool's crash-forensics ring).
+    /// distribution), and `events` (the pool's crash-forensics ring)
+    /// with `events_meta` (recorded/dropped totals — a non-zero
+    /// `events_dropped` means the dump is a suffix of the timeline).
+    ///
+    /// Heat attribution adds `heat.leaf_conflicts` (HTM aborts +
+    /// fallbacks per leaf), `heat.leaf_splits`, `heat.leaf_morphs`,
+    /// `heat.htm_stripes` (fallback serializations per stripe),
+    /// `heat.cache_sets` (evictions + failed validations per cache set,
+    /// with a cache attached), and `heat_meta` (each sketch's decayed
+    /// error budget — how much count mass fell off the top-K tables).
     fn obs_sections(&self) -> Vec<(String, Section)> {
         let mut tree = self.stats().counters();
         let rn = self.rn_stats();
@@ -2072,7 +2140,49 @@ impl ObsSource for RnTree {
             "leaf_probes".to_string(),
             Section::Latencies(vec![("probe_len".to_string(), self.probe_hist.snapshot())]),
         ));
-        out.push(("events".to_string(), Section::Events(self.pool.events().dump())));
+        let ring = self.pool.events();
+        out.push(("events".to_string(), Section::Events(ring.dump())));
+        out.push((
+            "events_meta".to_string(),
+            Section::Counters(vec![
+                ("events_recorded".into(), ring.recorded()),
+                ("events_dropped".into(), ring.dropped()),
+            ]),
+        ));
+
+        // Structural heat: top-K tables, hottest first.
+        const HEAT_TOP_K: usize = 16;
+        let domain_stats = self.index.domain().stats();
+        out.push((
+            "heat.leaf_conflicts".to_string(),
+            Section::Heat(self.heat.conflicts.top_k(HEAT_TOP_K)),
+        ));
+        out.push((
+            "heat.leaf_splits".to_string(),
+            Section::Heat(self.heat.splits.top_k(HEAT_TOP_K)),
+        ));
+        out.push((
+            "heat.leaf_morphs".to_string(),
+            Section::Heat(self.heat.morphs.top_k(HEAT_TOP_K)),
+        ));
+        out.push((
+            "heat.htm_stripes".to_string(),
+            Section::Heat(domain_stats.stripe_heat.top_k(HEAT_TOP_K)),
+        ));
+        let mut heat_meta = vec![
+            ("leaf_conflicts_decayed".into(), self.heat.conflicts.decayed()),
+            ("leaf_splits_decayed".into(), self.heat.splits.decayed()),
+            ("leaf_morphs_decayed".into(), self.heat.morphs.decayed()),
+            ("htm_stripes_decayed".into(), domain_stats.stripe_heat.decayed()),
+        ];
+        if let Some(cache) = self.index.page_cache() {
+            out.push((
+                "heat.cache_sets".to_string(),
+                Section::Heat(cache.set_heat().top_k(HEAT_TOP_K)),
+            ));
+            heat_meta.push(("cache_sets_decayed".into(), cache.set_heat().decayed()));
+        }
+        out.push(("heat_meta".to_string(), Section::Counters(heat_meta)));
         out
     }
 }
