@@ -31,6 +31,10 @@
 //! hash leaf beats the sorted leaf on YCSB-C point lookups and that the
 //! adaptive policy tracks the best static layout on point-heavy and
 //! scan-heavy mixes; written to `BENCH_PR8.json` or `--out PATH`), and
+//! `group-scale` (flat-combining group commit vs direct per-op writes on
+//! a write-heavy plain-Zipfian mix at 2/4/8 writer threads, with the
+//! persists/op reduction and the open-loop p99-under-flush-deadline
+//! check; written to `BENCH_PR10.json` or `--out PATH`), and
 //! `trace-scale` (structural heat attribution + sampled op tracing +
 //! time-resolved metrics: asserts the conflict heatmap ranks the
 //! planted 256-key hot window's leaves above the uniform control's,
@@ -53,7 +57,7 @@ use bench::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|varkey-scale|leaf-scale|trace-scale|trace-report|bench-index|all> \
+        "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|breakdown|bench-json|shard-scale|batch-scale|obs-report|contention-scale|cache-scale|varkey-scale|leaf-scale|trace-scale|trace-report|group-scale|bench-index|all> \
          [--quick] [--warm N] [--duration-ms N] [--threads a,b,c] \
          [--latency-ns N] [--workers N] [--seed N] [--out PATH] [--assert-overhead PCT]"
     );
@@ -76,6 +80,7 @@ fn main() {
         "varkey-scale" => "BENCH_PR7.json",
         "leaf-scale" => "BENCH_PR8.json",
         "trace-scale" => "BENCH_PR9.json",
+        "group-scale" => "BENCH_PR10.json",
         "bench-index" => "BENCH_TRAJECTORY.md",
         _ => "BENCH_PR1.json",
     });
@@ -163,6 +168,7 @@ fn main() {
         "leaf-scale" => bench::leafbench::leaf_scale(&scale, &out_path),
         "trace-scale" => bench::tracebench::trace_scale(&scale, &out_path, assert_overhead),
         "trace-report" => bench::tracebench::trace_report(&scale, assert_overhead),
+        "group-scale" => bench::combench::group_scale(&scale, &out_path),
         "bench-index" => {
             bench::trendbench::bench_index(std::path::Path::new("."), &out_path)
         }

@@ -24,6 +24,7 @@
 
 pub mod batchbench;
 pub mod cachebench;
+pub mod combench;
 pub mod contbench;
 pub mod experiments;
 pub mod harness;

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use htm::HtmStatsSnapshot;
 use index_common::{
     leaf_ref, InnerIndex, Key, KeyBuf, KeyCodec, KeyRef, OpError, PersistentIndex, TreeStats,
-    U64Key, Value,
+    U64Key, Value, WriteOp,
 };
 use nvm::{BlockAllocator, PmemPool, RootTable};
 use obs::{EventKind, HeatSketch, ObsSource, Phase, PhaseTimers, Section};
@@ -1492,6 +1492,35 @@ impl RnTree {
     /// reported key is durable when the call returns. A crash mid-batch
     /// recovers to a run-granular prefix of the sorted batch.
     pub fn insert_batch(&self, batch: &mut [(Key, Value)]) -> Vec<Result<(), OpError>> {
+        // Route through the mixed-class executor: a pure-insert batch takes
+        // exactly the historical path (same runs, same persist shape). Both
+        // sorts are stable by key over the same initial order, so copying
+        // the sorted ops back gives the caller the permutation the contract
+        // promises, with results aligned index-for-index.
+        let mut ops: Vec<(Key, Value, WriteOp)> =
+            batch.iter().map(|&(k, v)| (k, v, WriteOp::Insert)).collect();
+        let results = RnTree::write_batch(self, &mut ops);
+        for (dst, src) in batch.iter_mut().zip(&ops) {
+            *dst = (src.0, src.1);
+        }
+        results
+    }
+
+    /// Batched mixed-class write ([`PersistentIndex::write_batch`]
+    /// semantics): sorts the batch stably in place, then walks it in
+    /// same-leaf runs exactly like [`RnTree::insert_batch`] — one leaf
+    /// lock, one coalesced KV-line persist (when any op dirtied a KV
+    /// line), one slot-line persist per touched leaf, whatever mix of
+    /// inserts, updates, upserts and removes the run carries. Elements
+    /// sharing a key compose in submission order against the in-register
+    /// slot image, so an insert+remove pair in one batch leaves the key
+    /// absent and both report `Ok`.
+    ///
+    /// A run containing **only** removes dirties no KV lines and commits
+    /// with a *single* persistent instruction (the slot-line persist):
+    /// `r` coalesced removes on one leaf cost 1 persist where the per-op
+    /// path costs `r`.
+    pub fn write_batch(&self, batch: &mut [(Key, Value, WriteOp)]) -> Vec<Result<(), OpError>> {
         batch.sort_by_key(|p| p.0);
         let mut results: Vec<Result<(), OpError>> = vec![Ok(()); batch.len()];
         let mut i = 0usize;
@@ -1514,7 +1543,8 @@ impl RnTree {
             // following key up to the fence belongs here too.
             let fence = leaf.fence();
             let run_len = batch[i..].partition_point(|p| p.0 <= fence);
-            let consumed = self.apply_run(leaf, &batch[i..i + run_len], &mut results[i..i + run_len]);
+            let consumed =
+                self.apply_run(leaf, &batch[i..i + run_len], &mut results[i..i + run_len]);
             if consumed > 0 {
                 starved = 0;
                 i += consumed;
@@ -1535,14 +1565,15 @@ impl RnTree {
         results
     }
 
-    /// Applies one run of sorted keys to `leaf` under its (already held)
-    /// lock; unlocks before returning. Returns the number of keys consumed
-    /// (applied or rejected as duplicates); on overflow the remainder is
-    /// left for the caller to retry after the split this run triggers.
+    /// Applies one run of sorted mixed-class ops to `leaf` under its
+    /// (already held) lock; unlocks before returning. Returns the number
+    /// of elements consumed (applied or rejected by their conditional);
+    /// on overflow the remainder is left for the caller to retry after
+    /// the split this run triggers.
     fn apply_run(
         &self,
         leaf: Leaf<'_>,
-        run: &[(Key, Value)],
+        run: &[(Key, Value, WriteOp)],
         results: &mut [Result<(), OpError>],
     ) -> usize {
         // Layout dispatch, same shape as `edit_any`: the tag is stable
@@ -1555,31 +1586,78 @@ impl RnTree {
         let mut decided = 0u64;
         let mut consumed = 0usize;
         let mut changed = false;
-        for (ri, &(k, v)) in run.iter().enumerate() {
-            // `Ok(())` = absent, carrying the sorted insertion point when
-            // the layout needs one.
-            let found: Result<Option<usize>, ()> = if hashed {
+        for (ri, &(k, v, op)) in run.iter().enumerate() {
+            // Locate `k` in the in-register image. Edits land in that image
+            // before the next element is examined, so elements sharing a
+            // key compose in submission (stable-sort) order.
+            let mut hit_probe = None;
+            let mut hit_pos = None;
+            let mut ins_pos = None;
+            if hashed {
                 let fp = fp_hash(k);
                 let mut steps = 0u32;
-                match dir.find(fp, |e| self.fps.check(leaf.off(), e, fp) && leaf.read_key(e) == k, &mut steps)
-                {
-                    Some(_) => Err(()),
-                    None => Ok(None),
-                }
+                hit_probe = dir.find(
+                    fp,
+                    |e| self.fps.check(leaf.off(), e, fp) && leaf.read_key(e) == k,
+                    &mut steps,
+                );
             } else {
                 match leaf.search(&slot, k) {
-                    Ok(_) => Err(()),
-                    Err(pos) => Ok(Some(pos)),
+                    Ok(p) => hit_pos = Some(p),
+                    Err(p) => ins_pos = Some(p),
                 }
-            };
-            match found {
-                Err(()) => {
+            }
+            let present = hit_probe.is_some() || hit_pos.is_some();
+            match op {
+                WriteOp::Remove => {
+                    // Slot-image-only edit: no log entry, no KV line. A run
+                    // of removes shares the single slot-line persist below.
+                    if present {
+                        if hashed {
+                            let p = hit_probe.expect("hashed hit carries a probe");
+                            dir.remove_at(p.bucket, |e| HashDir::home(fp_hash(leaf.read_key(e))));
+                        } else {
+                            slot.remove_at(hit_pos.expect("sorted hit carries a position"));
+                        }
+                        changed = true;
+                    } else {
+                        results[ri] = Err(OpError::NotFound);
+                    }
+                    consumed += 1;
+                }
+                WriteOp::Insert if present => {
                     // Present in the leaf (or earlier in this run): strict
                     // insert rejects without consuming a log entry.
                     results[ri] = Err(OpError::AlreadyExists);
                     consumed += 1;
                 }
-                Ok(pos) => {
+                WriteOp::Update if !present => {
+                    results[ri] = Err(OpError::NotFound);
+                    consumed += 1;
+                }
+                WriteOp::Update | WriteOp::Upsert if present => {
+                    // Overwrite through a fresh log entry, exactly the
+                    // per-op `modify` shape (the old entry becomes garbage
+                    // the next compaction reclaims).
+                    let Some(entry) = leaf.alloc_entry() else {
+                        break; // log area exhausted; split, then retry
+                    };
+                    decided += 1;
+                    leaf.write_kv(entry, k, v);
+                    if self.cfg.fingerprints {
+                        self.fps.set(leaf.off(), entry, fp_hash(k));
+                    }
+                    dirty.push((leaf.off() + kv_off(entry), 16));
+                    if hashed {
+                        dir.set_probe(hit_probe.expect("hashed hit carries a probe"), entry);
+                    } else {
+                        slot.set_entry(hit_pos.expect("sorted hit carries a position"), entry);
+                    }
+                    changed = true;
+                    consumed += 1;
+                }
+                WriteOp::Insert | WriteOp::Upsert => {
+                    // Absent: fresh insert.
                     let full = if hashed { dir.len() == MAX_LIVE } else { slot.len() == MAX_LIVE };
                     if full {
                         // Slot array full. Deliberately waste one log entry:
@@ -1606,11 +1684,12 @@ impl RnTree {
                         let ok = dir.insert(fp_hash(k), entry);
                         debug_assert!(ok, "directory had room");
                     } else {
-                        slot.insert_at(pos.expect("sorted path carries a position"), entry);
+                        slot.insert_at(ins_pos.expect("sorted path carries a position"), entry);
                     }
                     changed = true;
                     consumed += 1;
                 }
+                WriteOp::Update => unreachable!("guarded arms above cover update"),
             }
         }
         if hashed {
@@ -1620,7 +1699,11 @@ impl RnTree {
             // Persistent instruction #1 for the whole run: the dirtied KV
             // lines, coalesced (entries sharing a line flush once), durable
             // strictly before the slot line below (publication order).
-            self.pool.persist_many(&dirty);
+            // A pure-remove run dirties no KV lines and skips straight to
+            // the slot persist — one persistent instruction total.
+            if !dirty.is_empty() {
+                self.pool.persist_many(&dirty);
+            }
             // One slot-array edit for the whole run. Transactional even
             // under the lock: single-slot readers snapshot this line
             // optimistically and must never observe a torn buffer.
@@ -1875,6 +1958,28 @@ impl PersistentIndex for RnTree {
             return self.vinsert_batch(&mut kb);
         }
         RnTree::insert_batch(self, batch)
+    }
+
+    fn write_batch(&self, batch: &mut [(Key, Value, WriteOp)]) -> Vec<Result<(), OpError>> {
+        if self.cfg.varlen_leaves {
+            // Var leaves have no mixed-class run executor yet: sort (the
+            // contract) and dispatch each element through the byte-key
+            // point paths in order.
+            batch.sort_by_key(|p| p.0);
+            return batch
+                .iter()
+                .map(|&(k, v, op)| {
+                    let kb = U64Key::encode(k);
+                    match op {
+                        WriteOp::Insert => self.vmodify(kb.as_slice(), v, WriteMode::InsertStrict),
+                        WriteOp::Update => self.vmodify(kb.as_slice(), v, WriteMode::UpdateStrict),
+                        WriteOp::Upsert => self.vmodify(kb.as_slice(), v, WriteMode::Upsert),
+                        WriteOp::Remove => self.vremove(kb.as_slice()),
+                    }
+                })
+                .collect();
+        }
+        RnTree::write_batch(self, batch)
     }
 
     fn supports_var_keys(&self) -> bool {

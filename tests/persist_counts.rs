@@ -395,6 +395,76 @@ fn varlen_failed_conditionals_do_not_touch_the_slot_line() {
     assert_eq!(persists(&pool) - before, 0, "missing remove_k");
 }
 
+/// Mixed-class batch runs (`write_batch`) keep the coalesced contract in
+/// both leaf layouts and both slot variants:
+///
+/// * a **pure-remove run** edits only the slot image — no log entries, no
+///   dirty KV lines — so it costs exactly **1 persist per touched leaf**;
+/// * a **mixed run** (inserts/updates riding with removes) flushes its
+///   coalesced KV lines (1) plus the slot publish (1) — **2 per leaf**,
+///   the same as an all-insert run, i.e. removes ride along for free;
+/// * a run of removes that all **miss** changes nothing and persists
+///   nothing.
+#[test]
+fn write_batch_remove_runs_cost_one_persist_per_leaf() {
+    use index_common::WriteOp;
+    for policy in [LeafPolicy::Sorted, LeafPolicy::Hash] {
+        for dual in [true, false] {
+            let pool = Arc::new(PmemPool::new(PmemConfig::for_testing(1 << 22)));
+            let cfg = RnConfig {
+                leaf_policy: policy,
+                dual_slot: dual,
+                journal_slots: 2,
+                ..RnConfig::default()
+            };
+            let tree = RnTree::create(Arc::clone(&pool), cfg);
+            let tag = format!("policy={policy:?} dual={dual}");
+            // Seed one leaf well below capacity so no split can fire.
+            for k in 1..=30u64 {
+                tree.insert(k, k * 2).unwrap();
+            }
+
+            // Pure-remove run: 10 removes, one leaf, one persist.
+            let mut rm: Vec<(u64, u64, WriteOp)> =
+                (1..=10).map(|k| (k, 0, WriteOp::Remove)).collect();
+            let before = persists(&pool);
+            assert!(tree.write_batch(&mut rm).into_iter().all(|r| r.is_ok()), "{tag}");
+            assert_eq!(persists(&pool) - before, 1, "pure-remove run ({tag})");
+
+            // All-miss remove run: nothing changed, nothing persisted.
+            let mut miss: Vec<(u64, u64, WriteOp)> =
+                (100..=110).map(|k| (k, 0, WriteOp::Remove)).collect();
+            let before = persists(&pool);
+            assert!(tree.write_batch(&mut miss).into_iter().all(|r| r.is_err()), "{tag}");
+            assert_eq!(persists(&pool) - before, 0, "all-miss remove run ({tag})");
+
+            // Mixed run on the same leaf: fresh inserts + more removes +
+            // an update — the removes ride the insert run's 2 persists.
+            let mut mixed: Vec<(u64, u64, WriteOp)> = vec![
+                (31, 31, WriteOp::Insert),
+                (11, 0, WriteOp::Remove),
+                (32, 32, WriteOp::Insert),
+                (12, 0, WriteOp::Remove),
+                (13, 130, WriteOp::Update),
+                (33, 33, WriteOp::Upsert),
+            ];
+            let before = persists(&pool);
+            assert!(tree.write_batch(&mut mixed).into_iter().all(|r| r.is_ok()), "{tag}");
+            assert_eq!(persists(&pool) - before, 2, "mixed run ({tag})");
+
+            // Final state reflects every class.
+            for k in 1..=12u64 {
+                assert_eq!(tree.find(k), None, "removed {k} ({tag})");
+            }
+            assert_eq!(tree.find(13), Some(130), "{tag}");
+            for k in [31u64, 32, 33] {
+                assert_eq!(tree.find(k), Some(k), "{tag}");
+            }
+            tree.verify_invariants().unwrap();
+        }
+    }
+}
+
 /// Var-key batch paths keep the amortised contract: `load_sorted_k` is
 /// 2 persists per built leaf plus the constant 3 journal persists, and
 /// `insert_batch_k` is 2 persists per touched leaf regardless of how
